@@ -1,0 +1,44 @@
+"""Benchmark harness glue.
+
+Each benchmark regenerates one table/figure of the paper via its
+``repro.experiments.figures`` function, renders it as text, prints it,
+and archives it under ``results/``.  Runs are memoised across benchmark
+files (the baselines are shared), so the suite's total cost is far less
+than the sum of its parts.
+
+Environment knobs (see repro.experiments.configs):
+  REPRO_WORKLOADS=quick|all|name,name   REPRO_WARMUP=N   REPRO_SIM=N
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import render_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_experiment(benchmark, experiment_fn, name: str):
+    """Benchmark one experiment function and archive its table."""
+    data = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)
+    text = render_table(data["title"], data["headers"], data["rows"])
+    if "paper" in data:
+        text += "\npaper reference: " + ", ".join(
+            f"{k}={v}" for k, v in data["paper"].items()
+        )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return data
+
+
+@pytest.fixture
+def experiment(benchmark):
+    def _run(fn, name):
+        return run_experiment(benchmark, fn, name)
+
+    return _run

@@ -1,0 +1,10 @@
+"""Ablation benchmark: direction_zoo (see repro.experiments.analysis)."""
+
+from repro.experiments import analysis
+
+from benchmarks.conftest import run_experiment
+
+
+def test_abl_direction_zoo(benchmark):
+    data = run_experiment(benchmark, analysis.direction_zoo, "abl_direction_zoo")
+    assert data["rows"], "ablation produced no rows"

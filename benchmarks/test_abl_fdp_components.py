@@ -1,0 +1,10 @@
+"""Ablation benchmark: fdp_attribution (see repro.experiments.analysis)."""
+
+from repro.experiments import analysis
+
+from benchmarks.conftest import run_experiment
+
+
+def test_abl_fdp_components(benchmark):
+    data = run_experiment(benchmark, analysis.fdp_attribution, "abl_fdp_components")
+    assert data["rows"], "ablation produced no rows"

@@ -1,0 +1,10 @@
+"""Ablation benchmark: loop_predictor_ablation (see repro.experiments.analysis)."""
+
+from repro.experiments import analysis
+
+from benchmarks.conftest import run_experiment
+
+
+def test_abl_loop_predictor(benchmark):
+    data = run_experiment(benchmark, analysis.loop_predictor_ablation, "abl_loop_predictor")
+    assert data["rows"], "ablation produced no rows"

@@ -1,0 +1,10 @@
+"""Ablation benchmark: prefetcher_quality (see repro.experiments.analysis)."""
+
+from repro.experiments import analysis
+
+from benchmarks.conftest import run_experiment
+
+
+def test_abl_prefetcher_quality(benchmark):
+    data = run_experiment(benchmark, analysis.prefetcher_quality, "abl_prefetcher_quality")
+    assert data["rows"], "ablation produced no rows"

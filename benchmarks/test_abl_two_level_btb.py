@@ -1,0 +1,10 @@
+"""Ablation benchmark: two_level_btb (see repro.experiments.analysis)."""
+
+from repro.experiments import analysis
+
+from benchmarks.conftest import run_experiment
+
+
+def test_abl_two_level_btb(benchmark):
+    data = run_experiment(benchmark, analysis.two_level_btb, "abl_two_level_btb")
+    assert data["rows"], "ablation produced no rows"

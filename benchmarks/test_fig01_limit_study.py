@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 1 prefetching limit study (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig01_limit_study(benchmark):
+    data = run_experiment(benchmark, figures.fig1, "fig1")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 6a prefetching speedups (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig06a_prefetch_speedup(benchmark):
+    data = run_experiment(benchmark, figures.fig6a, "fig6a")
+    assert data["rows"], "experiment produced no rows"

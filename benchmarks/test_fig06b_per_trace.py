@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 6b per-trace EIP improvement (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig06b_per_trace(benchmark):
+    data = run_experiment(benchmark, figures.fig6b, "fig6b")
+    assert data["rows"], "experiment produced no rows"

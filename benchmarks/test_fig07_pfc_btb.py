@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 7 PFC vs BTB size (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig07_pfc_btb(benchmark):
+    data = run_experiment(benchmark, figures.fig7, "fig7")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 8 history management (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig08_history(benchmark):
+    data = run_experiment(benchmark, figures.fig8, "fig8")
+    assert data["rows"], "experiment produced no rows"

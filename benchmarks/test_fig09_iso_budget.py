@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 9 ISO-budget analysis (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig09_iso_budget(benchmark):
+    data = run_experiment(benchmark, figures.fig9, "fig9")
+    assert data["rows"], "experiment produced no rows"

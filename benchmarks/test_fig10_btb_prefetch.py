@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 10 BTB prefetching (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10_btb_prefetch(benchmark):
+    data = run_experiment(benchmark, figures.fig10, "fig10")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 11 BTB capacity sensitivity (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11_btb_capacity(benchmark):
+    data = run_experiment(benchmark, figures.fig11, "fig11")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 12 direction predictor sensitivity (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12_direction_pred(benchmark):
+    data = run_experiment(benchmark, figures.fig12, "fig12")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 13 bandwidth and latency (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig13_bandwidth(benchmark):
+    data = run_experiment(benchmark, figures.fig13, "fig13")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig 14 FTQ size sensitivity (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_fig14_ftq_size(benchmark):
+    data = run_experiment(benchmark, figures.fig14, "fig14")
+    assert data["rows"], "experiment produced no rows"

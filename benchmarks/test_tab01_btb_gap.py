@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table I BTB capacity gap (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tab01_btb_gap(benchmark):
+    data = run_experiment(benchmark, figures.table1, "table1")
+    assert data["rows"], "experiment produced no rows"

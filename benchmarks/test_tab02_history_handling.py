@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table II BTB-miss not-taken handling (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tab02_history_handling(benchmark):
+    data = run_experiment(benchmark, figures.table2, "table2")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table III FTQ hardware overhead (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tab03_hw_overhead(benchmark):
+    data = run_experiment(benchmark, figures.table3, "table3")
+    assert data["rows"], "experiment produced no rows"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table IV common parameters (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tab04_parameters(benchmark):
+    data = run_experiment(benchmark, figures.table4, "table4")
+    assert data["rows"], "experiment produced no rows"

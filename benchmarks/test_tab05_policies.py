@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table V history policies (see DESIGN.md section 4)."""
+
+from repro.experiments import figures
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tab05_policies(benchmark):
+    data = run_experiment(benchmark, figures.table5, "table5")
+    assert data["rows"], "experiment produced no rows"

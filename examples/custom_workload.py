@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scenario: evaluating the frontend on your own workload shape.
+
+Builds a custom synthetic program -- an interpreter-style workload with
+a huge indirect-dispatch loop -- runs the FDP frontend on it, and shows
+how to persist the trace for colleagues to reproduce.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SimParams
+from repro.core.simulator import Simulator
+from repro.trace.cfg import ProgramSpec, generate_program
+from repro.trace.oracle import run_oracle
+from repro.trace.reader import load_trace, save_trace
+
+
+def interpreter_spec() -> ProgramSpec:
+    """An interpreter: one hot dispatch loop, many small handlers,
+    branchy and indirect-heavy (the classic FDP stress case)."""
+    return ProgramSpec(
+        n_functions=220,
+        blocks_per_function=(3, 8),
+        instrs_per_block=(3, 8),
+        cond_fraction=0.38,
+        jump_fraction=0.05,
+        call_fraction=0.14,
+        indirect_jump_fraction=0.05,   # dispatch-style indirect jumps
+        indirect_call_fraction=0.06,   # handler dispatch
+        early_return_fraction=0.04,
+        indirect_fanout=(4, 8),
+        indirect_random_fraction=0.6,  # data-dependent opcode stream
+        loops_per_function=(0, 1),
+        loop_trip=(2, 12),
+        frac_never_taken=0.30,
+        frac_mostly_taken=0.35,
+        frac_pattern=0.25,
+        frac_random=0.10,
+        n_phases=4,
+        functions_per_phase=36,
+        phase_repeats=2,
+    )
+
+
+def main() -> None:
+    spec = interpreter_spec()
+    program_seed, oracle_seed = 4242, 777
+    window = 45_000
+
+    program = generate_program(spec, program_seed)
+    stream = run_oracle(program, window + 5_000, oracle_seed)
+    print(
+        f"generated interpreter workload: {program.footprint_bytes // 1024}KB code, "
+        f"{program.static_branches} static branches, "
+        f"{stream.total_taken * 1000 // stream.total_instructions} taken branches/KI"
+    )
+
+    params = SimParams(warmup_instructions=12_000, sim_instructions=30_000)
+    for label, p in {
+        "baseline": params.with_frontend(ftq_entries=2, pfc_enabled=False),
+        "fdp": params,
+        "fdp+perfect-btb": params.with_branch(perfect_btb=True),
+    }.items():
+        result = Simulator(p, program, stream).run("interpreter")
+        print(f"{label:16s} IPC={result.ipc:5.2f} brMPKI={result.branch_mpki:5.1f} "
+              f"i$MPKI={result.l1i_mpki:5.1f}")
+
+    # Persist the trace: the file stores the spec + seeds, so loading
+    # regenerates the identical program and committed stream.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "interpreter.trace.json"
+        save_trace(path, spec, program_seed, oracle_seed, window + 5_000)
+        loaded_program, loaded_stream = load_trace(path)
+        assert loaded_stream.total_instructions == stream.total_instructions
+        print(f"\ntrace round-tripped through {path.name} "
+              f"({path.stat().st_size} bytes on disk)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what FDP buys over a no-prefetch frontend.
+
+Runs three configurations of the simulated core on one server-class
+workload and prints the headline comparison the paper is built around
+(Section VI-A):
+
+* baseline  -- 2-entry FTQ (no run-ahead), no prefetching
+* FDP       -- 24-entry FTQ with PFC (the paper's design)
+* perfect   -- perfect instruction prefetching (upper bound)
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import SimParams, simulate
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "srv_web"
+
+    fdp = SimParams(warmup_instructions=15_000, sim_instructions=40_000)
+    baseline = fdp.with_frontend(ftq_entries=2, pfc_enabled=False)
+    perfect = baseline.replace(prefetcher="perfect")
+
+    print(f"workload: {workload}\n")
+    results = {}
+    for name, params in [("baseline", baseline), ("fdp", fdp), ("perfect", perfect)]:
+        results[name] = simulate(workload, params)
+        print(results[name].summary())
+
+    base_ipc = results["baseline"].ipc
+    print()
+    for name in ("fdp", "perfect"):
+        speedup = results[name].ipc / base_ipc - 1.0
+        print(f"{name:8s} speedup over baseline: {100 * speedup:+.1f}%")
+    print(
+        "\nFDP achieves most of the perfect-prefetch headroom using only "
+        "the FTQ's 195 bytes of state (paper Table III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate paper tables/figures outside pytest.
+
+Usage::
+
+    python scripts/run_experiments.py            # everything
+    python scripts/run_experiments.py fig7 fig8  # a subset
+
+Each experiment's rendered table is printed and archived under
+``results/<name>.txt``.  Results are memoised within one invocation, so
+grouping experiments that share baselines (e.g. fig7 + fig11) is faster
+than running them separately.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.analysis import ALL_ABLATIONS
+from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
+from repro.experiments.report import render_table
+
+ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for name in names:
+        t0 = time.time()
+        data = ALL_EXPERIMENTS[name]()
+        text = render_table(data["title"], data["headers"], data["rows"])
+        if "paper" in data:
+            text += "\npaper reference: " + ", ".join(
+                f"{k}={v}" for k, v in data["paper"].items()
+            )
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print(f"[{name} done in {time.time() - t0:.1f}s]\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

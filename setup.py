@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no `wheel` package, so the PEP 660 editable path is
+unavailable; this keeps `pip install -e .` working offline.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

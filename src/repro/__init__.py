@@ -1,0 +1,48 @@
+"""repro: reproduction of "Re-establishing Fetch-Directed Instruction
+Prefetching: An Industry Perspective" (Ishii, Lee, Nathella, Sunwoo;
+ISPASS 2021).
+
+Public API quickstart::
+
+    from repro import SimParams, simulate
+
+    result = simulate("clt_browser", SimParams())
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.common.params import (
+    BranchPredictorParams,
+    CoreParams,
+    DirectionPredictorKind,
+    FrontendParams,
+    HistoryPolicy,
+    MemoryParams,
+    SimParams,
+)
+from repro.core.metrics import RunResult, ftq_storage_bytes
+from repro.core.simulator import Simulator, simulate
+from repro.trace.workloads import WorkloadSpec, default_workloads, make_trace, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPredictorParams",
+    "CoreParams",
+    "DirectionPredictorKind",
+    "FrontendParams",
+    "HistoryPolicy",
+    "MemoryParams",
+    "SimParams",
+    "RunResult",
+    "ftq_storage_bytes",
+    "Simulator",
+    "simulate",
+    "WorkloadSpec",
+    "default_workloads",
+    "make_trace",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Branch prediction substrate: history managers, BTB, TAGE, ITTAGE, RAS."""
+
+from repro.branch.btb import BTB, BTBEntry
+from repro.branch.gshare import Gshare
+from repro.branch.history import HistoryManager
+from repro.branch.ittage import ITTAGE
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.tage import TAGE, TageConfig
+
+__all__ = [
+    "BTB",
+    "BTBEntry",
+    "Gshare",
+    "HistoryManager",
+    "ITTAGE",
+    "ReturnAddressStack",
+    "TAGE",
+    "TageConfig",
+]

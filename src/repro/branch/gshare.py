@@ -1,0 +1,50 @@
+"""Gshare direction predictor (McFarling).
+
+The weaker baseline of Fig 12: an 8KB table of 2-bit counters indexed
+by PC XOR a 15-bit slice of the global history.  With it, PFC *hurts*
+(Section VI-F2): wrong taken-hints on BTB-miss branches make PFC
+re-steer onto wrong paths that a no-prediction frontend would have
+survived.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mix64
+
+
+class Gshare:
+    """Classic gshare: counters indexed by pc ^ history."""
+
+    def __init__(self, storage_kib: int = 8, history_bits: int = 15) -> None:
+        if storage_kib <= 0:
+            raise ValueError("storage must be positive")
+        # 2-bit counters: 4 per byte.
+        n_counters = storage_kib * 1024 * 4
+        if n_counters & (n_counters - 1):
+            raise ValueError("counter count must be a power of two")
+        self.history_bits = history_bits
+        self._hist_mask = (1 << history_bits) - 1
+        # Weakly not-taken start (see TAGE): unseen branches fall through.
+        self._counters = [-1] * n_counters  # in [-2, 1]
+        self._index_mask = n_counters - 1
+        self.predictions = 0
+        self.updates = 0
+
+    def _index(self, pc: int, hist: int) -> int:
+        return (mix64(pc >> 2) ^ (hist & self._hist_mask)) & self._index_mask
+
+    def predict(self, pc: int, hist: int) -> bool:
+        self.predictions += 1
+        return self._counters[self._index(pc, hist)] >= 0
+
+    def update(self, pc: int, hist: int, taken: bool) -> None:
+        self.updates += 1
+        idx = self._index(pc, hist)
+        ctr = self._counters[idx]
+        if taken:
+            self._counters[idx] = min(1, ctr + 1)
+        else:
+            self._counters[idx] = max(-2, ctr - 1)
+
+    def storage_bits(self) -> int:
+        return 2 * len(self._counters)

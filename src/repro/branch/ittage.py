@@ -1,0 +1,111 @@
+"""ITTAGE-style indirect target predictor (Seznec, CBP-3).
+
+Predicts the target of register-indirect branches and calls: a base
+table keyed by PC holding the last target, plus tagged tables indexed
+with increasing history lengths that capture correlated target
+sequences (e.g. round-robin dispatch).  The BTB supplies a fallback
+target when ITTAGE has nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bits import fold, mix64
+
+_CONF_MAX = 3
+
+
+@dataclass(slots=True)
+class _Entry:
+    tag: int
+    target: int
+    confidence: int
+    useful: int
+
+
+class ITTAGE:
+    """Indirect target predictor with a base table + 3 tagged tables."""
+
+    N_TAGGED = 3
+    TAG_BITS = 11
+
+    def __init__(self, n_entries: int = 2048, max_history: int = 260) -> None:
+        if n_entries <= 0 or n_entries & (n_entries - 1):
+            raise ValueError("n_entries must be a positive power of two")
+        self.n_entries = n_entries
+        per_table = max(n_entries // (self.N_TAGGED + 1), 1)
+        self._table_size = per_table
+        self._idx_bits = max(per_table.bit_length() - 1, 1)
+        self._base: dict[int, int] = {}
+        self._base_capacity = per_table
+        self._tables: list[dict[int, _Entry]] = [dict() for _ in range(self.N_TAGGED)]
+        lengths = [max_history // 16, max_history // 4, max_history]
+        self._hist_masks = [(1 << length) - 1 for length in lengths]
+        self._tag_mask = (1 << self.TAG_BITS) - 1
+        self.predictions = 0
+        self.updates = 0
+
+    def _index_and_tag(self, table: int, pc: int, hist: int) -> tuple[int, int]:
+        masked = hist & self._hist_masks[table]
+        hfold = fold(masked, self._idx_bits)
+        tfold = fold(masked * 3, self.TAG_BITS)
+        pc_mix = mix64(pc >> 2) ^ (table * 0x85EBCA6B)
+        idx = (hfold ^ pc_mix) & (self._table_size - 1)
+        tag = (tfold ^ (pc_mix >> 17)) & self._tag_mask
+        return idx, tag
+
+    def predict(self, pc: int, hist: int) -> int | None:
+        """Return the predicted target, or None if nothing is known."""
+        self.predictions += 1
+        for table in range(self.N_TAGGED - 1, -1, -1):
+            idx, tag = self._index_and_tag(table, pc, hist)
+            entry = self._tables[table].get(idx)
+            if entry is not None and entry.tag == tag:
+                return entry.target
+        return self._base.get(pc)
+
+    def update(self, pc: int, hist: int, target: int) -> None:
+        """Train with the resolved indirect target."""
+        self.updates += 1
+        predicted = self.predict(pc, hist)
+        self.predictions -= 1  # internal re-predict is not a real lookup
+        # Base table: always track the last target (bounded FIFO-ish).
+        if pc not in self._base and len(self._base) >= self._base_capacity:
+            self._base.pop(next(iter(self._base)))
+        self._base[pc] = target
+
+        # Find the provider and strengthen/correct it.
+        provider_table = -1
+        for table in range(self.N_TAGGED - 1, -1, -1):
+            idx, tag = self._index_and_tag(table, pc, hist)
+            entry = self._tables[table].get(idx)
+            if entry is not None and entry.tag == tag:
+                provider_table = table
+                if entry.target == target:
+                    entry.confidence = min(_CONF_MAX, entry.confidence + 1)
+                    entry.useful = min(_CONF_MAX, entry.useful + 1)
+                else:
+                    if entry.confidence > 0:
+                        entry.confidence -= 1
+                    else:
+                        entry.target = target
+                        entry.confidence = 1
+                break
+
+        if predicted != target and provider_table < self.N_TAGGED - 1:
+            self._allocate(pc, hist, target, provider_table + 1)
+
+    def _allocate(self, pc: int, hist: int, target: int, start_table: int) -> None:
+        for table in range(start_table, self.N_TAGGED):
+            idx, tag = self._index_and_tag(table, pc, hist)
+            entry = self._tables[table].get(idx)
+            if entry is None or entry.useful == 0:
+                self._tables[table][idx] = _Entry(tag=tag, target=target, confidence=1, useful=0)
+                return
+            entry.useful -= 1
+
+    def storage_bits(self) -> int:
+        """Approximate budget: 48b target + tag + 4b state per entry."""
+        per_entry = 48 + self.TAG_BITS + 4
+        return (self._base_capacity + self.N_TAGGED * self._table_size) * per_entry

@@ -1,0 +1,123 @@
+"""Loop predictor.
+
+Fig 2 of the paper lists loop predictors among the standard branch
+prediction components: they "identify loops with their loop iteration
+counts".  A counted loop's back-edge is taken ``trip - 1`` times and
+then falls through once -- a pattern global-history predictors struggle
+with when the loop body's history is periodic (every iteration looks
+identical beyond the history length).
+
+This implementation mirrors the classic Seznec loop predictor: per
+branch it tracks the current iteration count and the last observed trip
+count; after ``CONFIDENT`` consecutive confirmations it *overrides* the
+direction predictor, predicting not-taken exactly on the exit
+iteration.
+
+Speculative state: the predictor keeps separate speculative and
+architectural iteration counters.  The BPU advances the speculative
+side; pipeline flushes resynchronise it from the architectural side
+(:meth:`flush_spec`), mirroring how the simulator recovers every other
+speculative structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CONFIDENT = 3
+_MAX_TRIP = 1 << 14
+
+
+@dataclass(slots=True)
+class _LoopEntry:
+    trip: int = 0
+    """Last learned trip count (taken iterations + 1)."""
+    confidence: int = 0
+    arch_count: int = 0
+    spec_count: int = 0
+
+
+class LoopPredictor:
+    """Trip-count predictor with speculative/architectural counters."""
+
+    def __init__(self, n_entries: int = 256) -> None:
+        if n_entries <= 0:
+            raise ValueError("need at least one entry")
+        self.n_entries = n_entries
+        self._entries: dict[int, _LoopEntry] = {}
+        self.overrides = 0
+
+    def _entry(self, pc: int) -> _LoopEntry:
+        entry = self._entries.get(pc)
+        if entry is None:
+            if len(self._entries) >= self.n_entries:
+                # Evict the least-confident entry.
+                victim = min(self._entries, key=lambda k: self._entries[k].confidence)
+                del self._entries[victim]
+            entry = _LoopEntry()
+            self._entries[pc] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Prediction (speculative side)
+    # ------------------------------------------------------------------
+    def predict(self, pc: int) -> bool | None:
+        """Return an override direction for ``pc``, or None to defer.
+
+        Advances the speculative iteration count as if the prediction is
+        followed, exactly like the global history update.
+        """
+        entry = self._entries.get(pc)
+        if entry is None or entry.confidence < CONFIDENT:
+            if entry is not None:
+                entry.spec_count += 1
+            return None
+        entry.spec_count += 1
+        self.overrides += 1
+        if entry.spec_count >= entry.trip:
+            entry.spec_count = 0
+            return False
+        return True
+
+    def flush_spec(self) -> None:
+        """Pipeline flush: speculative counters resync to committed state."""
+        for entry in self._entries.values():
+            entry.spec_count = entry.arch_count
+
+    # ------------------------------------------------------------------
+    # Training (commit side)
+    # ------------------------------------------------------------------
+    def train(self, pc: int, taken: bool) -> None:
+        if not taken and pc not in self._entries:
+            # Never observed taken: not a loop back-edge, don't pollute
+            # the table with trip-1 entries for never-taken branches.
+            return
+        entry = self._entry(pc)
+        if taken:
+            entry.arch_count += 1
+            if entry.arch_count >= _MAX_TRIP:
+                # Not a counted loop at a learnable scale.
+                entry.arch_count = 0
+                entry.confidence = 0
+                entry.trip = 0
+            return
+        # Exit observed: the trip count is arch_count + 1.
+        trip = entry.arch_count + 1
+        if trip == entry.trip:
+            entry.confidence = min(CONFIDENT, entry.confidence + 1)
+        else:
+            entry.trip = trip
+            entry.confidence = 0
+        entry.arch_count = 0
+
+    # ------------------------------------------------------------------
+    def confident(self, pc: int) -> bool:
+        entry = self._entries.get(pc)
+        return entry is not None and entry.confidence >= CONFIDENT
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bits(self) -> int:
+        """~ (tag 16 + trip 14 + conf 2 + 2x count 14) per entry."""
+        return self.n_entries * 60

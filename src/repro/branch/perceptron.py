@@ -1,0 +1,73 @@
+"""Perceptron direction predictor (Jimenez & Lin, HPCA 2001).
+
+Cited by the paper among the classic direction predictors (Section
+II-A).  Each table row is a weight vector; the prediction is the sign
+of the dot product between the weights and the recent history bits
+(+1 taken / -1 not-taken, plus a bias weight).  Training bumps weights
+on a misprediction or while the output magnitude is below the Jimenez
+threshold theta = 1.93 * h + 14.
+
+Included as an extra comparison point for the Fig 12 direction-predictor
+sensitivity study; it slots in through
+``DirectionPredictorKind.PERCEPTRON``.
+"""
+
+from __future__ import annotations
+
+from repro.common.bits import mix64
+
+_WEIGHT_MAX = 127
+_WEIGHT_MIN = -128
+
+
+class Perceptron:
+    """Global-history perceptron predictor."""
+
+    def __init__(self, storage_kib: int = 8, history_bits: int = 31) -> None:
+        if storage_kib <= 0:
+            raise ValueError("storage must be positive")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        # One signed byte per weight, history_bits + bias weights per row.
+        row_bytes = history_bits + 1
+        self.n_rows = max((storage_kib * 1024) // row_bytes, 1)
+        self._weights = [[0] * (history_bits + 1) for _ in range(self.n_rows)]
+        self.threshold = int(1.93 * history_bits + 14)
+        self.predictions = 0
+        self.updates = 0
+
+    def _row(self, pc: int) -> list[int]:
+        return self._weights[mix64(pc >> 2) % self.n_rows]
+
+    def _output(self, pc: int, hist: int) -> int:
+        weights = self._row(pc)
+        total = weights[0]  # bias
+        for i in range(self.history_bits):
+            bit = (hist >> i) & 1
+            total += weights[i + 1] if bit else -weights[i + 1]
+        return total
+
+    def predict(self, pc: int, hist: int) -> bool:
+        self.predictions += 1
+        return self._output(pc, hist) >= 0
+
+    def update(self, pc: int, hist: int, taken: bool) -> None:
+        self.updates += 1
+        output = self._output(pc, hist)
+        predicted = output >= 0
+        if predicted == taken and abs(output) > self.threshold:
+            return
+        weights = self._row(pc)
+        t = 1 if taken else -1
+        weights[0] = _clamp(weights[0] + t)
+        for i in range(self.history_bits):
+            bit = 1 if (hist >> i) & 1 else -1
+            weights[i + 1] = _clamp(weights[i + 1] + t * bit)
+
+    def storage_bits(self) -> int:
+        return self.n_rows * (self.history_bits + 1) * 8
+
+
+def _clamp(w: int) -> int:
+    return max(_WEIGHT_MIN, min(_WEIGHT_MAX, w))

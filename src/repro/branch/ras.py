@@ -1,0 +1,57 @@
+"""Return Address Stack.
+
+Two instances exist per simulated core: a speculative RAS in the
+branch-prediction pipeline (pushed/popped by predicted calls/returns)
+and an architectural RAS maintained at commit.  On a pipeline flush the
+speculative RAS is restored by copying the architectural one -- the
+standard recovery a real core approximates with checkpoints.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Bounded circular return-address stack."""
+
+    def __init__(self, n_entries: int = 64) -> None:
+        if n_entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self.n_entries = n_entries
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, return_addr: int) -> None:
+        """Push a call's return address; overflow drops the oldest."""
+        self.pushes += 1
+        if len(self._stack) >= self.n_entries:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_addr)
+
+    def pop(self) -> int | None:
+        """Pop for a return; None on underflow (mispredicts downstream)."""
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def top(self) -> int | None:
+        """Peek without popping (used for PFC return targets)."""
+        return self._stack[-1] if self._stack else None
+
+    def copy_from(self, other: "ReturnAddressStack") -> None:
+        """Restore contents from ``other`` (flush recovery)."""
+        self._stack = list(other._stack)
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._stack)
+
+    def restore(self, snap: tuple[int, ...]) -> None:
+        self._stack = list(snap)
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run  --workload srv_web --ftq 24 --btb 8192 ...
+    python -m repro list                  # workloads and prefetchers
+    python -m repro report fig7 fig14     # regenerate paper experiments
+
+``run`` simulates one (workload, configuration) pair and prints the
+metric summary; every microarchitectural knob the evaluation sweeps is
+exposed as a flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import DirectionPredictorKind, HistoryPolicy, SimParams
+from repro.core.simulator import simulate
+from repro.experiments.analysis import ALL_ABLATIONS
+from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
+from repro.experiments.report import render_table
+
+ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
+from repro.prefetch import prefetcher_names
+from repro.trace.workloads import default_workloads
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FDP frontend simulator (ISPASS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload/configuration")
+    run.add_argument("--workload", default="srv_web")
+    run.add_argument("--warmup", type=int, default=25_000)
+    run.add_argument("--instructions", type=int, default=60_000)
+    run.add_argument("--ftq", type=int, default=24, help="FTQ entries (2 disables FDP)")
+    run.add_argument("--no-pfc", action="store_true", help="disable post-fetch correction")
+    run.add_argument("--btb", type=int, default=8192, help="BTB entries")
+    run.add_argument("--btb-latency", type=int, default=2)
+    run.add_argument(
+        "--history",
+        choices=[p.value for p in HistoryPolicy],
+        default=HistoryPolicy.THR.value,
+        help="history management policy (Table V)",
+    )
+    run.add_argument(
+        "--direction",
+        choices=[k.value for k in DirectionPredictorKind],
+        default=DirectionPredictorKind.TAGE.value,
+    )
+    run.add_argument("--tage-kib", type=int, default=18, choices=[9, 18, 36])
+    run.add_argument("--prefetcher", default="none",
+                     help=f"none|perfect|{'|'.join(prefetcher_names())}")
+    run.add_argument("--predict-width", type=int, default=12)
+    run.add_argument("--max-taken", type=int, default=1)
+    run.add_argument("--perfect-btb", action="store_true")
+    run.add_argument("--perfect-direction", action="store_true")
+    run.add_argument("--stats", action="store_true", help="dump all raw counters")
+
+    sub.add_parser("list", help="list workloads and prefetchers")
+
+    report = sub.add_parser("report", help="regenerate paper tables/figures")
+    report.add_argument("experiments", nargs="*", help="subset (default: all)")
+    report.add_argument("--plot", action="store_true", help="add ASCII bar charts")
+
+    return parser
+
+
+def _params_from_args(args: argparse.Namespace) -> SimParams:
+    params = SimParams(
+        warmup_instructions=args.warmup,
+        sim_instructions=args.instructions,
+        prefetcher=args.prefetcher,
+    )
+    params = params.with_frontend(
+        ftq_entries=args.ftq,
+        pfc_enabled=not args.no_pfc,
+        history_policy=HistoryPolicy(args.history),
+        predict_width=args.predict_width,
+        max_taken_per_cycle=args.max_taken,
+    )
+    params = params.with_branch(
+        btb_entries=args.btb,
+        btb_latency=args.btb_latency,
+        direction_kind=DirectionPredictorKind(args.direction),
+        tage_storage_kib=args.tage_kib,
+        perfect_btb=args.perfect_btb,
+        perfect_direction=args.perfect_direction,
+    )
+    return params
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Simulate one (workload, configuration) pair and print metrics."""
+    result = simulate(args.workload, _params_from_args(args))
+    print(result.summary())
+    exposure = result.miss_exposure()
+    print(
+        f"misses: covered={exposure['covered']} "
+        f"partial={exposure['partially_exposed']} full={exposure['fully_exposed']}"
+    )
+    if args.stats:
+        for name in result.stats.names():
+            print(f"  {name} = {result.stats.get(name)}")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """List workloads, prefetchers and experiments."""
+    print("workloads:")
+    for wl in default_workloads():
+        print(f"  {wl.name:14s} ({wl.category})")
+    print("prefetchers: none perfect " + " ".join(prefetcher_names()))
+    print("experiments: " + " ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the requested paper tables/figures."""
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        data = ALL_EXPERIMENTS[name]()
+        print(render_table(data["title"], data["headers"], data["rows"]))
+        if getattr(args, "plot", False):
+            from repro.experiments.viz import chart_for_experiment
+
+            chart = chart_for_experiment(data)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "list": cmd_list, "report": cmd_report}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Shared infrastructure: parameters, statistics, bit utilities, RNG.
+
+These modules are substrate for the whole simulator and carry no
+microarchitectural policy of their own.
+"""
+
+from repro.common.bits import (
+    INSTR_BYTES,
+    align_down,
+    block_addr,
+    block_offset,
+    fold,
+    line_addr,
+    mix64,
+)
+from repro.common.params import (
+    BranchPredictorParams,
+    CoreParams,
+    FrontendParams,
+    MemoryParams,
+    SimParams,
+)
+from repro.common.rng import SplitMix64
+from repro.common.stats import StatSet
+
+__all__ = [
+    "INSTR_BYTES",
+    "align_down",
+    "block_addr",
+    "block_offset",
+    "fold",
+    "line_addr",
+    "mix64",
+    "BranchPredictorParams",
+    "CoreParams",
+    "FrontendParams",
+    "MemoryParams",
+    "SimParams",
+    "SplitMix64",
+    "StatSet",
+]

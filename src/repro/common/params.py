@@ -1,0 +1,254 @@
+"""Simulation parameter dataclasses.
+
+The parameter surface mirrors Table IV of the paper (common core
+parameters, Sunny Cove-like) plus the knobs the evaluation sweeps:
+FTQ depth (Fig 14), BTB capacity (Figs 7/11), direction predictor kind
+and size (Fig 12), prediction bandwidth and BTB latency (Fig 13),
+history-management policy (Table V / Fig 8) and PFC on/off.
+
+Everything is a frozen dataclass so configurations can be hashed,
+compared, and safely shared between runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class HistoryPolicy(str, Enum):
+    """Branch history management policies (Table V).
+
+    * ``THR``   -- taken-only branch target history; BTB allocates taken
+      branches only; no fixup needed (the paper's proposal).
+    * ``GHR0``  -- direction history, no fixup, taken-only BTB allocation.
+    * ``GHR1``  -- direction history, no fixup, BTB allocates all branches.
+    * ``GHR2``  -- direction history, fixup on BTB-miss not-taken branches
+      (costs frontend flushes), taken-only BTB allocation.
+    * ``GHR3``  -- direction history, fixup, BTB allocates all branches
+      (the policy commonly paired with basic-block BTBs in academia).
+    * ``IDEAL`` -- oracle direction history: every branch contributes its
+      bit as if always detected, with no fixup flushes.
+    """
+
+    THR = "THR"
+    GHR0 = "GHR0"
+    GHR1 = "GHR1"
+    GHR2 = "GHR2"
+    GHR3 = "GHR3"
+    IDEAL = "Ideal"
+
+    @property
+    def uses_target_history(self) -> bool:
+        return self is HistoryPolicy.THR
+
+    @property
+    def allocates_all_branches(self) -> bool:
+        """True if not-taken branches are installed in the BTB too."""
+        return self in (HistoryPolicy.GHR1, HistoryPolicy.GHR3)
+
+    @property
+    def fixes_not_taken_history(self) -> bool:
+        """True if BTB-miss not-taken branches trigger a history fixup flush."""
+        return self in (HistoryPolicy.GHR2, HistoryPolicy.GHR3)
+
+
+class DirectionPredictorKind(str, Enum):
+    """Conditional direction predictor selection (Fig 12)."""
+
+    TAGE = "tage"
+    GSHARE = "gshare"
+    PERCEPTRON = "perceptron"
+    PERFECT = "perfect"
+
+
+@dataclass(frozen=True)
+class BranchPredictorParams:
+    """Branch prediction resources (Section V; Fig 12 sweeps sizes)."""
+
+    direction_kind: DirectionPredictorKind = DirectionPredictorKind.TAGE
+    tage_storage_kib: int = 18
+    """Approximate TAGE budget: 9 (half), 18 (baseline), 36 (2x)."""
+    gshare_storage_kib: int = 8
+    history_bits: int = 260
+    """Branch history length used by TAGE/ITTAGE (paper: 260 for THR)."""
+    direction_history_bits: int = 280
+    """History length when a direction-history policy is used (Section VI-C)."""
+
+    btb_entries: int = 8192
+    btb_assoc: int = 4
+    btb_latency: int = 2
+    """Cycles from BTB access to a usable taken-branch target (Fig 13)."""
+    btb_l1_entries: int = 0
+    """When > 0, a two-level BTB hierarchy is used (Section II-B): a fast
+    L1 of this many entries in front of the ``btb_entries`` L2."""
+    btb_l1_assoc: int = 4
+    btb_l2_extra_latency: int = 2
+    """Extra prediction-pipeline cycles when a taken prediction's entry
+    was served from the L2 BTB."""
+    perfect_btb: bool = False
+    perfect_direction: bool = False
+    perfect_indirect: bool = False
+
+    ittage_entries: int = 2048
+    ras_entries: int = 64
+    loop_predictor_entries: int = 0
+    """When > 0, a loop predictor (Fig 2) overrides the direction
+    predictor on confidently learned counted loops."""
+
+    def __post_init__(self) -> None:
+        if self.btb_entries <= 0 or self.btb_assoc <= 0:
+            raise ValueError("BTB geometry must be positive")
+        if self.btb_entries % self.btb_assoc:
+            raise ValueError("btb_entries must be a multiple of btb_assoc")
+        if self.btb_latency < 1:
+            raise ValueError("btb_latency must be at least 1 cycle")
+        if self.btb_l1_entries < 0 or self.btb_l2_extra_latency < 0:
+            raise ValueError("two-level BTB parameters cannot be negative")
+        if self.btb_l1_entries and self.btb_l1_entries >= self.btb_entries:
+            raise ValueError("L1 BTB must be smaller than the L2 BTB")
+        if self.btb_l1_entries % self.btb_l1_assoc:
+            raise ValueError("btb_l1_entries must be a multiple of btb_l1_assoc")
+
+
+@dataclass(frozen=True)
+class FrontendParams:
+    """Decoupled frontend shape (Section IV)."""
+
+    ftq_entries: int = 24
+    """FTQ depth; 24 x 8-instruction blocks = the paper's 192-instruction FTQ.
+
+    2 entries (16 instructions) models FDP-off (Section V)."""
+    fetch_width: int = 6
+    """Instructions fetched to the decode queue per cycle."""
+    predict_width: int = 12
+    """Instructions covered by branch prediction per cycle (2x fetch)."""
+    max_taken_per_cycle: int = 1
+    """Predicted-taken branches resolvable per cycle (B18m raises this)."""
+    decode_queue_size: int = 64
+    fetch_probe_width: int = 2
+    """FTQ entries that may start I-TLB/I-cache tag probes per cycle."""
+    pfc_enabled: bool = True
+    history_policy: HistoryPolicy = HistoryPolicy.THR
+    block_bytes: int = 32
+    """Fetch block granularity; each FTQ entry covers one aligned block."""
+    wrong_path_fills: bool = True
+    """Diagnostic ablation (not a hardware knob): when False, FTQ entries
+    the simulator knows to be wrong-path skip their I-cache probe/fill,
+    isolating how much of FDP's benefit comes from wrong-path
+    prefetching versus correct-path run-ahead."""
+
+    def __post_init__(self) -> None:
+        if self.ftq_entries < 2:
+            raise ValueError("FTQ needs at least 2 entries")
+        if self.fetch_width < 1 or self.predict_width < 1:
+            raise ValueError("widths must be positive")
+        if self.block_bytes not in (16, 32, 64):
+            raise ValueError("block_bytes must be 16, 32 or 64")
+        if self.decode_queue_size < self.fetch_width:
+            raise ValueError("decode queue must hold at least one fetch group")
+
+    @property
+    def instrs_per_block(self) -> int:
+        return self.block_bytes // 4
+
+    @property
+    def fdp_enabled(self) -> bool:
+        """FDP is 'off' when the FTQ is too shallow to run ahead (Section V)."""
+        return self.ftq_entries > 2
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Instruction-side memory hierarchy (Table IV, scaled latencies)."""
+
+    l1i_kib: int = 32
+    l1i_assoc: int = 8
+    line_bytes: int = 64
+    l1i_latency: int = 4
+    l2_kib: int = 1024
+    l2_assoc: int = 8
+    l2_latency: int = 14
+    dram_latency: int = 170
+    mshr_entries: int = 16
+    itlb_entries: int = 64
+    itlb_page_bytes: int = 4096
+    itlb_miss_latency: int = 20
+
+    def __post_init__(self) -> None:
+        if self.line_bytes not in (32, 64, 128):
+            raise ValueError("line_bytes must be 32, 64 or 128")
+        if self.l1i_kib <= 0 or self.l2_kib <= 0:
+            raise ValueError("cache sizes must be positive")
+
+    @property
+    def l1i_lines(self) -> int:
+        return self.l1i_kib * 1024 // self.line_bytes
+
+    @property
+    def l2_lines(self) -> int:
+        return self.l2_kib * 1024 // self.line_bytes
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Backend consumption model (Sunny Cove-like widths)."""
+
+    retire_width: int = 6
+    mispredict_penalty: int = 14
+    """Cycles from consuming a mispredicted branch to frontend restart."""
+    pfc_resteer_penalty: int = 3
+    """Frontend bubble charged when PFC re-steers the prefetch stream."""
+    history_fixup_penalty: int = 3
+    """Frontend bubble charged by a GHR2/GHR3 history-fixup flush."""
+
+    def __post_init__(self) -> None:
+        if self.retire_width < 1:
+            raise ValueError("retire_width must be positive")
+        if self.mispredict_penalty < 1:
+            raise ValueError("mispredict_penalty must be positive")
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Top-level bundle for one simulation run."""
+
+    frontend: FrontendParams = field(default_factory=FrontendParams)
+    branch: BranchPredictorParams = field(default_factory=BranchPredictorParams)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    core: CoreParams = field(default_factory=CoreParams)
+    warmup_instructions: int = 40_000
+    sim_instructions: int = 60_000
+    prefetcher: str = "none"
+    """Registered name of the L1I prefetcher to attach (see repro.prefetch)."""
+
+    def __post_init__(self) -> None:
+        if self.warmup_instructions < 0 or self.sim_instructions <= 0:
+            raise ValueError("instruction windows must be sensible")
+
+    def replace(self, **kwargs) -> "SimParams":
+        """Return a copy with top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+    def with_frontend(self, **kwargs) -> "SimParams":
+        return dataclasses.replace(self, frontend=dataclasses.replace(self.frontend, **kwargs))
+
+    def with_branch(self, **kwargs) -> "SimParams":
+        return dataclasses.replace(self, branch=dataclasses.replace(self.branch, **kwargs))
+
+    def with_memory(self, **kwargs) -> "SimParams":
+        return dataclasses.replace(self, memory=dataclasses.replace(self.memory, **kwargs))
+
+    def with_core(self, **kwargs) -> "SimParams":
+        return dataclasses.replace(self, core=dataclasses.replace(self.core, **kwargs))
+
+    def label(self) -> str:
+        """A short human-readable tag for tables and logs."""
+        fdp = "fdp" if self.frontend.fdp_enabled else "nofdp"
+        pfc = "+pfc" if self.frontend.pfc_enabled else ""
+        pf = f"+{self.prefetcher}" if self.prefetcher != "none" else ""
+        return (
+            f"{fdp}{pfc}{pf}/{self.frontend.history_policy.value}"
+            f"/btb{self.branch.btb_entries // 1024}k"
+        )

@@ -1,0 +1,68 @@
+"""Deterministic pseudo-random number generation.
+
+Every stochastic decision in the repository (program shapes, branch
+behaviours, interpreter outcomes) flows from a :class:`SplitMix64`
+seeded by an explicit value, so that traces and experiments are
+reproducible bit-for-bit across runs and platforms.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class SplitMix64:
+    """Small, fast, deterministic 64-bit PRNG (SplitMix64).
+
+    Chosen over :mod:`random` to keep the stream format independent of
+    CPython internals and trivially re-implementable.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit value."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Return a uniform integer in ``[lo, hi]`` inclusive."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        return lo + self.next_u64() % span
+
+    def random(self) -> float:
+        """Return a uniform float in ``[0, 1)``."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def chance(self, p: float) -> bool:
+        """Return True with probability ``p``."""
+        return self.random() < p
+
+    def choice(self, seq):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.next_u64() % len(seq)]
+
+    def shuffle(self, seq: list) -> None:
+        """Shuffle ``seq`` in place (Fisher-Yates)."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.next_u64() % (i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def fork(self, tag: int) -> "SplitMix64":
+        """Derive an independent child stream keyed by ``tag``.
+
+        Forking keeps unrelated subsystems (e.g. two branch behaviours)
+        decoupled: adding draws to one does not perturb the other.
+        """
+        return SplitMix64(self.next_u64() ^ ((tag * _GOLDEN) & _MASK64))

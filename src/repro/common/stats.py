@@ -1,0 +1,111 @@
+"""Lightweight statistics counters.
+
+A :class:`StatSet` is a flat namespace of named integer counters with a
+few derived-metric helpers.  Simulator components mutate counters
+directly (``stats.bump("l1i_miss")``); the experiments layer reads them
+out at the end of a run.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+class StatSet:
+    """A dictionary of named counters with convenience arithmetic."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value."""
+        self._counters[name] = value
+
+    def get(self, name: str) -> int:
+        """Return counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def names(self) -> list[str]:
+        """Return all counter names, sorted."""
+        return sorted(self._counters)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a copy of the raw counters."""
+        return dict(self._counters)
+
+    def merge(self, other: "StatSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for name, value in other._counters.items():
+            self.bump(name, value)
+
+    def per_kilo(self, name: str, denom_name: str) -> float:
+        """Return ``name`` per 1000 units of ``denom_name`` (e.g. MPKI)."""
+        denom = self.get(denom_name)
+        if denom == 0:
+            return 0.0
+        return 1000.0 * self.get(name) / denom
+
+    def ratio(self, name: str, denom_name: str) -> float:
+        """Return ``name`` / ``denom_name`` (0 if the denominator is 0)."""
+        denom = self.get(denom_name)
+        if denom == 0:
+            return 0.0
+        return self.get(name) / denom
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatSet({inner})"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports IPC speedups this way (Section V)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean; the paper reports MPKI this way (Section V)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("amean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def speedup(ipc: float, baseline_ipc: float) -> float:
+    """Return the speedup of ``ipc`` over ``baseline_ipc``."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return ipc / baseline_ipc
+
+
+def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+    """Return the mean of (value, weight) pairs."""
+    total = 0.0
+    weight_sum = 0.0
+    for value, weight in pairs:
+        total += value * weight
+        weight_sum += weight
+    if weight_sum == 0:
+        raise ValueError("weights sum to zero")
+    return total / weight_sum
+
+
+def summarize(stat_sets: Mapping[str, StatSet], names: Iterable[str]) -> dict[str, dict[str, int]]:
+    """Extract a counter subset from several runs, keyed by run label."""
+    wanted = list(names)
+    return {label: {n: s.get(n) for n in wanted} for label, s in stat_sets.items()}

@@ -1,0 +1,247 @@
+"""Decode queue, commit-time training and the consuming backend.
+
+The paper's experiments are all frontend-bound, so the backend is an
+ideal consumer: it retires up to ``retire_width`` instructions per
+cycle from the decode queue and charges a fixed pipeline penalty when
+it consumes a mispredicted branch.  Starvation cycles -- cycles where
+the decode queue holds fewer than a decode-width of instructions -- are
+the paper's fetch-stall metric (Section VI-D).
+
+:class:`CommitTrainer` replays the committed oracle stream into the
+predictors: TAGE/Gshare direction training, BTB insertion per the
+active allocation policy, ITTAGE target training, the architectural RAS
+and the architectural global history.  The architectural history is
+what every pipeline flush copies back into the frontend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.branch.btb import BTB
+from repro.branch.history import HistoryManager
+from repro.branch.ittage import ITTAGE
+from repro.branch.ras import ReturnAddressStack
+from repro.common.params import SimParams
+from repro.common.stats import StatSet
+from repro.frontend.bpu import Fault
+from repro.isa.instructions import BranchKind
+from repro.trace.oracle import OracleStream
+
+
+@dataclass(slots=True)
+class _Chunk:
+    n: int
+    fault: Fault | None
+    fault_index: int
+    wrong_path: bool
+    pos: int = 0
+
+
+class DecodeQueue:
+    """Bounded FIFO of fetched instruction groups."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("decode queue capacity must be positive")
+        self.capacity = capacity
+        self._chunks: deque[_Chunk] = deque()
+        self.total_instrs = 0
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.total_instrs
+
+    def push(self, n_instrs: int, fault: Fault | None, fault_index: int, wrong_path: bool) -> None:
+        if n_instrs <= 0:
+            raise ValueError("chunk must contain instructions")
+        if n_instrs > self.free_slots:
+            raise RuntimeError("decode queue overflow")
+        self._chunks.append(_Chunk(n_instrs, fault, fault_index, wrong_path))
+        self.total_instrs += n_instrs
+
+    def flush(self) -> None:
+        self._chunks.clear()
+        self.total_instrs = 0
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def head(self) -> _Chunk | None:
+        return self._chunks[0] if self._chunks else None
+
+    def pop_head(self) -> None:
+        chunk = self._chunks.popleft()
+        self.total_instrs -= chunk.n - chunk.pos
+
+    def consume_from_head(self, take: int) -> None:
+        chunk = self._chunks[0]
+        chunk.pos += take
+        self.total_instrs -= take
+        if chunk.pos >= chunk.n:
+            self._chunks.popleft()
+
+
+class CommitTrainer:
+    """Replays committed instructions into the predictors, in order."""
+
+    def __init__(
+        self,
+        stream: OracleStream,
+        mgr: HistoryManager,
+        btb: BTB,
+        direction,
+        ittage: ITTAGE,
+        stats: StatSet,
+        train_direction: bool = True,
+        btb_insert_hook=None,
+        loop=None,
+    ) -> None:
+        self.stream = stream
+        self.mgr = mgr
+        self.btb = btb
+        self.direction = direction
+        self.ittage = ittage
+        self.stats = stats
+        self.train_direction = train_direction
+        self.btb_insert_hook = btb_insert_hook
+        self.loop = loop
+        self.arch_ras = ReturnAddressStack()
+        self.arch_hist = 0
+        self.seg_idx = 0
+        self.pos = 0
+        self.br_ptr = 0
+        self.committed = 0
+        self.branch_listener = None
+        """Optional callable(pc, kind, taken, target) -- prefetchers that
+        watch the committed branch stream (e.g. D-JOLT) subscribe here."""
+
+    @property
+    def commit_pc(self) -> int:
+        """Address of the next instruction to commit."""
+        seg = self.stream.segments[self.seg_idx]
+        return seg.start + 4 * self.pos
+
+    def advance(self, n: int) -> None:
+        """Commit ``n`` oracle instructions, training along the way."""
+        segments = self.stream.segments
+        while n > 0:
+            if self.seg_idx >= len(segments):
+                raise RuntimeError("commit ran past the oracle stream")
+            seg = segments[self.seg_idx]
+            step = min(n, seg.n_instrs - self.pos)
+            new_pos = self.pos + step
+            branches = seg.branches
+            while self.br_ptr < len(branches):
+                addr, kind, taken, target = branches[self.br_ptr]
+                if ((addr - seg.start) >> 2) >= new_pos:
+                    break
+                self._train(addr, kind, taken, target)
+                self.br_ptr += 1
+            self.pos = new_pos
+            self.committed += step
+            n -= step
+            if self.pos >= seg.n_instrs:
+                self.seg_idx += 1
+                self.pos = 0
+                self.br_ptr = 0
+
+    def _train(self, addr: int, kind: BranchKind, taken: bool, target: int) -> None:
+        stats = self.stats
+        stats.bump("committed_branches")
+        detected = self.btb.contains(addr)
+        if not detected:
+            stats.bump("commit_btb_miss")
+
+        if kind is BranchKind.COND_DIRECT:
+            stats.bump("committed_cond_branches")
+            if self.train_direction and self.direction is not None:
+                self.direction.update(addr, self.arch_hist, taken)
+            if self.loop is not None:
+                self.loop.train(addr, taken)
+        elif kind.is_indirect:
+            self.ittage.update(addr, self.arch_hist, target)
+
+        if kind.is_call:
+            self.arch_ras.push(addr + 4)
+        elif kind.is_return:
+            self.arch_ras.pop()
+
+        if taken or self.mgr.allocates_all_branches:
+            stored_target = target if taken else self._static_target(kind, target)
+            self.btb.insert(addr, kind, stored_target)
+            if self.btb_insert_hook is not None:
+                self.btb_insert_hook(addr, kind, stored_target, taken)
+
+        if self.branch_listener is not None:
+            self.branch_listener(addr, kind, taken, target)
+
+        self.arch_hist, fixup = self.mgr.commit_push(self.arch_hist, addr, taken, target, detected)
+        if fixup:
+            stats.bump("commit_history_fixups")
+
+    @staticmethod
+    def _static_target(kind: BranchKind, target: int) -> int:
+        # For not-taken conditionals the oracle record's target *is* the
+        # static destination, which is what an all-branch BTB stores.
+        return target
+
+
+class Backend:
+    """Ideal-width consumer with misprediction penalties."""
+
+    def __init__(
+        self,
+        params: SimParams,
+        decode_queue: DecodeQueue,
+        trainer: CommitTrainer,
+        stats: StatSet,
+        flush_callback,
+    ) -> None:
+        self.params = params
+        self.dq = decode_queue
+        self.trainer = trainer
+        self.stats = stats
+        self.flush_callback = flush_callback
+        self.committed = 0
+
+    def cycle(self, cycle: int) -> None:
+        """Retire up to ``retire_width`` instructions."""
+        width = self.params.core.retire_width
+        if self.dq.total_instrs < width:
+            self.stats.bump("starvation_cycles")
+        budget = width
+        while budget > 0:
+            chunk = self.dq.head()
+            if chunk is None:
+                break
+            avail = chunk.n - chunk.pos
+            take = min(budget, avail)
+            fault_hit = (
+                chunk.fault is not None
+                and chunk.pos <= chunk.fault_index < chunk.pos + take
+            )
+            if fault_hit:
+                take = chunk.fault_index - chunk.pos + 1
+            self._consume(chunk, take)
+            budget -= take
+            if fault_hit:
+                self._flush(chunk.fault, cycle)
+                break
+
+    def _consume(self, chunk: _Chunk, take: int) -> None:
+        if chunk.wrong_path:
+            self.stats.bump("wrong_path_consumed", take)
+        else:
+            self.committed += take
+            self.stats.bump("committed_instructions", take)
+            self.trainer.advance(take)
+        self.dq.consume_from_head(take)
+
+    def _flush(self, fault: Fault, cycle: int) -> None:
+        self.stats.bump("branch_mispredictions")
+        self.stats.bump(f"mispredict_{fault.kind_label}")
+        if fault.branch_kind is BranchKind.COND_DIRECT:
+            self.stats.bump("cond_mispredictions")
+        self.flush_callback(fault, cycle)

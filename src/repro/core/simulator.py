@@ -1,0 +1,263 @@
+"""Top-level cycle-accurate simulator.
+
+Wires together the decoupled FDP frontend (BPU -> FTQ -> fetch), the
+instruction memory hierarchy, an optional dedicated prefetcher, and the
+consuming backend, then runs the oracle stream through it.
+
+Per-cycle stage order (reverse pipeline order so a stage never sees
+work produced in the same cycle):
+
+1. memory fill completion -> FTQ wakeups
+2. backend retire (may trigger a misprediction flush)
+3. fetch stage (head FTQ entries -> decode queue; PFC fires here)
+4. branch prediction (new FTQ entries)
+5. probe stage (I-TLB + I-cache tag lookups; fills start here) --
+   runs after prediction so freshly pushed entries are probed the same
+   cycle: a shallow FTQ then limits *run-ahead*, not steady-state fetch
+   throughput, matching the paper's no-FDP baseline semantics
+6. dedicated prefetcher tick
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BTB
+from repro.branch.btb2l import TwoLevelBTB
+from repro.branch.gshare import Gshare
+from repro.branch.history import HistoryManager
+from repro.branch.ittage import ITTAGE
+from repro.branch.loop import LoopPredictor
+from repro.branch.perceptron import Perceptron
+from repro.branch.tage import TAGE, TageConfig
+from repro.common.params import DirectionPredictorKind, SimParams
+from repro.common.stats import StatSet
+from repro.core.backend import Backend, CommitTrainer, DecodeQueue
+from repro.core.metrics import RunResult
+from repro.frontend.bpu import BranchPredictionUnit
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.ftq import FTQ
+from repro.memory.hierarchy import InstructionMemory
+from repro.prefetch import create_prefetcher
+from repro.trace.cfg import Program
+from repro.trace.oracle import OracleStream
+from repro.trace.workloads import WorkloadSpec, make_trace
+
+_CYCLE_GUARD_FACTOR = 400
+"""A run exceeding this many cycles per instruction indicates a livelock."""
+
+
+class Simulator:
+    """One simulated core bound to one program + oracle stream."""
+
+    def __init__(self, params: SimParams, program: Program, stream: OracleStream) -> None:
+        if not stream.segments:
+            raise ValueError("oracle stream is empty")
+        total_needed = params.warmup_instructions + params.sim_instructions
+        if stream.total_instructions < total_needed:
+            raise ValueError(
+                f"stream has {stream.total_instructions} instructions; "
+                f"run needs {total_needed}"
+            )
+        self.params = params
+        self.program = program
+        self.stream = stream
+        self.stats = StatSet()
+
+        self.memory = InstructionMemory(params.memory, self.stats)
+        self._prewarm_l2(program)
+        if params.branch.btb_l1_entries:
+            self.btb = TwoLevelBTB(
+                params.branch.btb_l1_entries,
+                params.branch.btb_l1_assoc,
+                params.branch.btb_entries,
+                params.branch.btb_assoc,
+                params.branch.btb_l2_extra_latency,
+            )
+        else:
+            self.btb = BTB(params.branch.btb_entries, params.branch.btb_assoc)
+        self.ittage = ITTAGE(params.branch.ittage_entries, params.branch.history_bits)
+
+        hist_bits = (
+            params.branch.history_bits
+            if params.frontend.history_policy.uses_target_history
+            else params.branch.direction_history_bits
+        )
+        self.hist_mgr = HistoryManager(params.frontend.history_policy, hist_bits)
+
+        self.direction = self._build_direction_predictor(hist_bits)
+        self.loop = (
+            LoopPredictor(params.branch.loop_predictor_entries)
+            if params.branch.loop_predictor_entries
+            else None
+        )
+
+        self.ftq = FTQ(params.frontend.ftq_entries)
+        self.decode_queue = DecodeQueue(params.frontend.decode_queue_size)
+        self.trainer = CommitTrainer(
+            stream=stream,
+            mgr=self.hist_mgr,
+            btb=self.btb,
+            direction=self.direction,
+            ittage=self.ittage,
+            stats=self.stats,
+            train_direction=not params.branch.perfect_direction,
+            loop=self.loop,
+        )
+        self.backend = Backend(params, self.decode_queue, self.trainer, self.stats, self._on_flush)
+        self.bpu = BranchPredictionUnit(
+            params, program, stream, self.btb, self.direction, self.ittage, self.hist_mgr, self.stats
+        )
+        self.bpu.loop = self.loop
+        self.prefetcher = None
+        if params.prefetcher == "perfect":
+            self.memory.perfect = True
+        elif params.prefetcher != "none":
+            self.prefetcher = create_prefetcher(
+                params.prefetcher,
+                params=params,
+                memory=self.memory,
+                btb=self.btb,
+                program=program,
+                stats=self.stats,
+            )
+            if params.prefetcher == "profile_guided":
+                # Software prefetching: the offline profiling pass runs
+                # over the warmup window only, like training on a
+                # separate profiling run.
+                from repro.prefetch.profile_guided import build_profile
+
+                self.prefetcher.profile = build_profile(
+                    stream,
+                    training_instructions=max(params.warmup_instructions, 1_000),
+                    l1i_lines=params.memory.l1i_lines,
+                    assoc=params.memory.l1i_assoc,
+                    line_bytes=params.memory.line_bytes,
+                )
+            self.trainer.branch_listener = self.prefetcher.on_commit_branch
+        self.fetch = FetchUnit(
+            params=params,
+            program=program,
+            stream=stream,
+            ftq=self.ftq,
+            memory=self.memory,
+            bpu=self.bpu,
+            hist_mgr=self.hist_mgr,
+            direction=self.direction,
+            decode_queue=self.decode_queue,
+            stats=self.stats,
+            prefetcher=self.prefetcher,
+        )
+        self.cycle = 0
+        self._measuring = False
+        self._measure_start_cycle = 0
+        self._measure_start_committed = 0
+
+    def _prewarm_l2(self, program: Program) -> None:
+        """Install the code image into the L2 before simulation.
+
+        The paper warms for 50M instructions, after which server code is
+        L2-resident and I-cache misses are L2 hits, not DRAM accesses.
+        Our scaled windows cannot amortise compulsory DRAM misses the
+        same way, so the steady state is established directly (the L2
+        comfortably holds every catalogue footprint).  L1I, BTB and
+        predictor warm-up still happens architecturally during the
+        warmup window.
+        """
+        line = program.code_start & ~(self.params.memory.line_bytes - 1)
+        while line < program.code_end:
+            self.memory.l2.fill(line)
+            line += self.params.memory.line_bytes
+
+    def _build_direction_predictor(self, hist_bits: int):
+        branch = self.params.branch
+        if branch.perfect_direction or branch.direction_kind is DirectionPredictorKind.PERFECT:
+            return None
+        if branch.direction_kind is DirectionPredictorKind.GSHARE:
+            return Gshare(branch.gshare_storage_kib)
+        if branch.direction_kind is DirectionPredictorKind.PERCEPTRON:
+            return Perceptron(branch.gshare_storage_kib)
+        return TAGE(TageConfig.for_budget_kib(branch.tage_storage_kib, hist_bits))
+
+    # ------------------------------------------------------------------
+    # Flush handling
+    # ------------------------------------------------------------------
+    def _on_flush(self, fault, cycle: int) -> None:
+        """Backend-detected misprediction: flush and restart at commit PC."""
+        self.ftq.flush_all()
+        self.decode_queue.flush()
+        self.memory.flush_waiters()
+        self.bpu.ras.copy_from(self.trainer.arch_ras)
+        if self.loop is not None:
+            self.loop.flush_spec()
+        if self.trainer.seg_idx >= len(self.stream.segments):
+            return  # stream exhausted; the run is about to end
+        self.bpu.resteer(
+            self.trainer.commit_pc,
+            self.trainer.arch_hist,
+            self.trainer.seg_idx,
+            cycle + self.params.core.mispredict_penalty,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement window
+    # ------------------------------------------------------------------
+    def _begin_measurement(self) -> None:
+        self._measuring = True
+        self._measure_start_cycle = self.cycle
+        self._measure_start_committed = self.backend.committed
+        fresh = StatSet()
+        self.stats = fresh
+        self.memory.set_stats(fresh)
+        self.bpu.stats = fresh
+        self.fetch.stats = fresh
+        self.backend.stats = fresh
+        self.trainer.stats = fresh
+        if self.prefetcher is not None:
+            self.prefetcher.stats = fresh
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, workload_name: str = "") -> RunResult:
+        """Simulate warmup + measurement windows; return the result."""
+        params = self.params
+        target = params.warmup_instructions + params.sim_instructions
+        guard = _CYCLE_GUARD_FACTOR * target + 100_000
+        while self.backend.committed < target:
+            cycle = self.cycle
+            fills = self.memory.tick(cycle)
+            if fills:
+                self.fetch.complete_fills(fills, cycle)
+            self.backend.cycle(cycle)
+            if not self._measuring and self.backend.committed >= params.warmup_instructions:
+                self._begin_measurement()
+            self.fetch.fetch_stage(cycle)
+            self.bpu.cycle(cycle, self.ftq)
+            self.fetch.probe_stage(cycle)
+            if self.prefetcher is not None:
+                self.prefetcher.cycle(cycle)
+            self.cycle += 1
+            if self.cycle > guard:
+                raise RuntimeError(
+                    f"livelock: {self.cycle} cycles, {self.backend.committed}/{target} committed"
+                )
+        if not self._measuring:
+            self._begin_measurement()
+        instructions = self.backend.committed - self._measure_start_committed
+        cycles = self.cycle - self._measure_start_cycle
+        return RunResult(
+            workload=workload_name,
+            label=params.label(),
+            params=params,
+            instructions=instructions,
+            cycles=max(cycles, 1),
+            stats=self.stats,
+        )
+
+
+def simulate(workload: WorkloadSpec | str, params: SimParams) -> RunResult:
+    """Convenience wrapper: generate the trace and run one simulation."""
+    n = params.warmup_instructions + params.sim_instructions
+    program, stream = make_trace(workload, n)
+    sim = Simulator(params, program, stream)
+    name = workload if isinstance(workload, str) else workload.name
+    return sim.run(workload_name=name)

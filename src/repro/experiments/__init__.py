@@ -1,0 +1,28 @@
+"""Experiment harness: canonical configurations, cached runner, and one
+function per table/figure of the paper (see DESIGN.md section 4)."""
+
+from repro.experiments.configs import (
+    baseline_params,
+    default_params,
+    evaluation_workloads,
+    no_fdp,
+)
+from repro.experiments.runner import (
+    clear_cache,
+    geomean_speedup,
+    mean_metric,
+    run_config,
+    run_matrix,
+)
+
+__all__ = [
+    "baseline_params",
+    "default_params",
+    "evaluation_workloads",
+    "no_fdp",
+    "clear_cache",
+    "geomean_speedup",
+    "mean_metric",
+    "run_config",
+    "run_matrix",
+]

@@ -1,0 +1,172 @@
+"""Ablation and quality analyses beyond the paper's figures.
+
+These quantify design choices DESIGN.md calls out:
+
+* :func:`fdp_attribution`   -- decomposes FDP's speedup into run-ahead
+  (FTQ depth), PFC, taken-only history, and wrong-path prefetching
+  (via the diagnostic ``wrong_path_fills`` ablation).
+* :func:`prefetcher_quality`-- accuracy / coverage / timeliness of each
+  dedicated prefetcher, the quantities behind Fig 9's traffic argument.
+* :func:`two_level_btb`     -- single-level vs two-level BTB hierarchies
+  at equal total capacity (Section II-B's industry trend).
+* :func:`loop_predictor_ablation` -- the Fig 2 loop predictor on/off.
+
+Each function returns the same table-dict shape as
+:mod:`repro.experiments.figures`.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import DirectionPredictorKind, HistoryPolicy, SimParams
+from repro.experiments.configs import default_params, evaluation_workloads, no_fdp
+from repro.experiments.runner import geomean_speedup, mean_metric, run_matrix
+
+
+def _pct(ratio: float) -> float:
+    return 100.0 * (ratio - 1.0)
+
+
+def fdp_attribution(workloads: list[str] | None = None) -> dict:
+    """Step-by-step decomposition of the FDP speedup."""
+    workloads = workloads or evaluation_workloads()
+    fdp = default_params()
+    steps: dict[str, SimParams] = {
+        "baseline (2-entry FTQ)": no_fdp(fdp),
+        "+run-ahead (24-entry FTQ)": fdp.with_frontend(
+            pfc_enabled=False, history_policy=HistoryPolicy.GHR0
+        ),
+        "+taken-only history (THR)": fdp.with_frontend(pfc_enabled=False),
+        "+PFC (full FDP)": fdp,
+        "full FDP, wrong-path fills off": fdp.with_frontend(wrong_path_fills=False),
+    }
+    results = run_matrix(steps, workloads)
+    base = "baseline (2-entry FTQ)"
+    rows = []
+    prev = None
+    for label in steps:
+        total = _pct(geomean_speedup(results, label, base))
+        marginal = 0.0 if prev is None else total - prev
+        rows.append([label, total, marginal, mean_metric(results, label, "branch_mpki")])
+        prev = total
+    return {
+        "title": "Ablation: FDP speedup attribution",
+        "headers": ["step", "speedup_%", "marginal_pp", "branch MPKI"],
+        "rows": rows,
+    }
+
+
+def prefetcher_quality(workloads: list[str] | None = None) -> dict:
+    """Accuracy / coverage / timeliness of the dedicated prefetchers."""
+    workloads = workloads or evaluation_workloads()
+    base = no_fdp(default_params())
+    names = [
+        "nl1", "eip27", "eip128", "fnl_mma", "djolt", "rdip",
+        "sn4l_dis", "profile_guided",
+    ]
+    configs = {"base": base}
+    configs.update({n: base.replace(prefetcher=n) for n in names})
+    results = run_matrix(configs, workloads)
+    base_misses = sum(r.stats.get("l1i_miss") for r in results["base"].values())
+    rows = []
+    for name in names:
+        runs = results[name].values()
+        issued = sum(r.stats.get("prefetch_issued") for r in runs)
+        useful = sum(r.stats.get("prefetch_useful") for r in runs)
+        late = sum(r.stats.get("prefetch_late") for r in runs)
+        misses = sum(r.stats.get("l1i_miss") for r in runs)
+        accuracy = 100.0 * useful / issued if issued else 0.0
+        coverage = 100.0 * (base_misses - misses) / base_misses if base_misses else 0.0
+        speedup = _pct(geomean_speedup(results, name, "base"))
+        rows.append([name, speedup, accuracy, coverage, late])
+    return {
+        "title": "Ablation: prefetcher accuracy / coverage / timeliness",
+        "headers": ["prefetcher", "speedup_%", "accuracy_%", "coverage_%", "late fills"],
+        "rows": rows,
+    }
+
+
+def two_level_btb(workloads: list[str] | None = None) -> dict:
+    """Two-level BTB hierarchies vs flat BTBs (Section II-B trend)."""
+    workloads = workloads or evaluation_workloads()
+    fdp = default_params()
+    configs = {
+        "flat 512": fdp.with_branch(btb_entries=512),
+        "flat 8K": fdp.with_branch(btb_entries=8192),
+        "512 L1 + 8K L2": fdp.with_branch(btb_entries=8192, btb_l1_entries=512),
+        "512 L1 + 8K L2 (slow L2)": fdp.with_branch(
+            btb_entries=8192, btb_l1_entries=512, btb_l2_extra_latency=4
+        ),
+    }
+    results = run_matrix(configs, workloads)
+    rows = []
+    for label in configs:
+        rows.append(
+            [
+                label,
+                _pct(geomean_speedup(results, label, "flat 512")),
+                mean_metric(results, label, "branch_mpki"),
+                sum(r.stats.get("btb_l2_taken_predictions") for r in results[label].values()),
+            ]
+        )
+    return {
+        "title": "Ablation: two-level BTB hierarchy (speedup over flat 512-entry)",
+        "headers": ["config", "speedup_%", "branch MPKI", "L2-sourced takens"],
+        "rows": rows,
+    }
+
+
+def loop_predictor_ablation(workloads: list[str] | None = None) -> dict:
+    """Loop predictor (Fig 2) on top of TAGE, per workload."""
+    workloads = workloads or evaluation_workloads()
+    fdp = default_params()
+    with_loop = fdp.with_branch(loop_predictor_entries=256)
+    results = run_matrix({"off": fdp, "on": with_loop}, workloads)
+    rows = []
+    for wl in workloads:
+        off, on = results["off"][wl], results["on"][wl]
+        rows.append(
+            [wl, _pct(on.ipc / off.ipc), off.branch_mpki, on.branch_mpki]
+        )
+    return {
+        "title": "Ablation: loop predictor on top of TAGE",
+        "headers": ["workload", "gain_%", "MPKI off", "MPKI on"],
+        "rows": rows,
+    }
+
+
+def direction_zoo(workloads: list[str] | None = None) -> dict:
+    """Extends Fig 12 with the perceptron predictor the paper cites
+    (Section II-A) alongside Gshare and the TAGE sizings."""
+    workloads = workloads or evaluation_workloads()
+    fdp = default_params()
+    configs = {
+        "gshare-8KB": fdp.with_branch(direction_kind=DirectionPredictorKind.GSHARE),
+        "perceptron-8KB": fdp.with_branch(direction_kind=DirectionPredictorKind.PERCEPTRON),
+        "tage-9KB": fdp.with_branch(tage_storage_kib=9),
+        "tage-18KB": fdp,
+        "tage-36KB": fdp.with_branch(tage_storage_kib=36),
+    }
+    results = run_matrix(configs, workloads)
+    rows = []
+    for label in configs:
+        rows.append(
+            [
+                label,
+                _pct(geomean_speedup(results, label, "tage-18KB")),
+                mean_metric(results, label, "branch_mpki"),
+            ]
+        )
+    return {
+        "title": "Ablation: direction predictor zoo (relative to TAGE-18KB)",
+        "headers": ["predictor", "rel_perf_%", "branch MPKI"],
+        "rows": rows,
+    }
+
+
+ALL_ABLATIONS = {
+    "abl_fdp_components": fdp_attribution,
+    "abl_prefetcher_quality": prefetcher_quality,
+    "abl_two_level_btb": two_level_btb,
+    "abl_loop_predictor": loop_predictor_ablation,
+    "abl_direction_zoo": direction_zoo,
+}

@@ -1,0 +1,74 @@
+"""Canonical experiment configurations.
+
+The defaults mirror Table IV (Sunny Cove-like core, 32KB L1I, 8K-entry
+BTB, 18KB TAGE with 260-bit taken-only target history, 24-entry FTQ,
+2x prediction bandwidth, PFC enabled).  Instruction windows are scaled
+for a pure-Python simulator -- 25K warmup + 60K measured by default --
+and adjustable through environment variables:
+
+* ``REPRO_WARMUP``     -- warmup instructions (default 25000)
+* ``REPRO_SIM``        -- measured instructions (default 60000)
+* ``REPRO_WORKLOADS``  -- ``all`` (default), ``quick`` (a 4-workload
+  subset covering all three categories), or a comma-separated list of
+  catalogue names.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.params import SimParams
+from repro.trace.workloads import default_workloads
+
+QUICK_WORKLOADS = ["srv_web", "srv_db", "clt_browser", "spc_int_a"]
+
+DEFAULT_WARMUP = 25_000
+DEFAULT_SIM = 60_000
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive")
+    return value
+
+
+def default_params() -> SimParams:
+    """The paper's FDP configuration (Table IV)."""
+    return SimParams(
+        warmup_instructions=_env_int("REPRO_WARMUP", DEFAULT_WARMUP),
+        sim_instructions=_env_int("REPRO_SIM", DEFAULT_SIM),
+    )
+
+
+def no_fdp(params: SimParams) -> SimParams:
+    """Disable FDP: 2-entry FTQ (16 instructions) and no PFC (Section V)."""
+    return params.with_frontend(ftq_entries=2, pfc_enabled=False)
+
+
+def baseline_params() -> SimParams:
+    """The evaluation baseline: no FDP, no prefetching."""
+    return no_fdp(default_params())
+
+
+def evaluation_workloads() -> list[str]:
+    """Workload names selected by ``REPRO_WORKLOADS``."""
+    raw = os.environ.get("REPRO_WORKLOADS", "all").strip()
+    if raw == "all":
+        return [w.name for w in default_workloads()]
+    if raw == "quick":
+        return list(QUICK_WORKLOADS)
+    names = [n.strip() for n in raw.split(",") if n.strip()]
+    known = {w.name for w in default_workloads()}
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(f"unknown workloads in REPRO_WORKLOADS: {unknown}")
+    if not names:
+        raise ValueError("REPRO_WORKLOADS selected no workloads")
+    return names

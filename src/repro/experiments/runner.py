@@ -1,0 +1,70 @@
+"""Cached simulation runner and aggregation helpers.
+
+Every figure shares the same baselines, so results are memoised by
+(workload, parameters) within the process.  Aggregation follows the
+paper's reporting (Section V): geometric mean for IPC speedups,
+arithmetic mean for per-kilo-instruction metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.common.params import SimParams
+from repro.common.stats import amean, geomean
+from repro.core.metrics import RunResult
+from repro.core.simulator import simulate
+
+_CACHE: dict[tuple[str, SimParams], RunResult] = {}
+
+
+def run_config(workload: str, params: SimParams) -> RunResult:
+    """Simulate (memoised) one workload under one configuration."""
+    key = (workload, params)
+    result = _CACHE.get(key)
+    if result is None:
+        result = simulate(workload, params)
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoised results (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of memoised (workload, params) results."""
+    return len(_CACHE)
+
+
+def run_matrix(
+    configs: Mapping[str, SimParams],
+    workloads: Iterable[str],
+) -> dict[str, dict[str, RunResult]]:
+    """Run every (config, workload) pair; returns results[label][workload]."""
+    out: dict[str, dict[str, RunResult]] = {}
+    for label, params in configs.items():
+        out[label] = {wl: run_config(wl, params) for wl in workloads}
+    return out
+
+
+def geomean_speedup(
+    results: Mapping[str, Mapping[str, RunResult]],
+    label: str,
+    baseline_label: str,
+) -> float:
+    """Geometric-mean IPC speedup of ``label`` over ``baseline_label``."""
+    rows = results[label]
+    base = results[baseline_label]
+    return geomean([rows[wl].ipc / base[wl].ipc for wl in rows])
+
+
+def mean_metric(
+    results: Mapping[str, Mapping[str, RunResult]],
+    label: str,
+    metric: str,
+) -> float:
+    """Arithmetic mean of a :class:`RunResult` property across workloads."""
+    rows = results[label]
+    return amean([getattr(r, metric) for r in rows.values()])

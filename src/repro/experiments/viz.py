@@ -1,0 +1,96 @@
+"""Dependency-free ASCII visualisation for experiment output.
+
+The benchmark tables are exact but shapes are easier to eyeball as
+bars.  ``bar_chart`` renders labelled horizontal bars; ``series`` plots
+a sweep (e.g. Fig 7's PFC gain vs BTB size) as aligned columns.  Used by
+``python -m repro report --plot`` and the plotting script.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BAR = "#"
+_WIDTH = 48
+
+
+def bar_chart(
+    title: str,
+    items: Sequence[tuple[str, float]],
+    unit: str = "%",
+    width: int = _WIDTH,
+) -> str:
+    """Render labelled horizontal bars, scaled to the largest magnitude.
+
+    Negative values render with ``-`` bars so regressions stand out.
+    """
+    if not items:
+        raise ValueError("nothing to plot")
+    label_w = max(len(label) for label, _ in items)
+    peak = max(abs(v) for _, v in items) or 1.0
+    lines = [f"== {title} =="]
+    for label, value in items:
+        n = round(abs(value) / peak * width)
+        bar = (_BAR if value >= 0 else "-") * n
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:+.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series(
+    title: str,
+    x_values: Sequence[object],
+    rows: dict[str, Sequence[float]],
+    height: int = 10,
+) -> str:
+    """Plot one or more numeric series over shared x values.
+
+    Each series gets a glyph; columns align with x labels underneath.
+    """
+    if not rows:
+        raise ValueError("nothing to plot")
+    n = len(x_values)
+    for name, ys in rows.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length mismatch")
+    glyphs = "*o+x@%"
+    all_vals = [v for ys in rows.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * n for _ in range(height)]
+    for si, (name, ys) in enumerate(rows.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for i, v in enumerate(ys):
+            row = height - 1 - round((v - lo) / span * (height - 1))
+            cell = grid[row][i]
+            grid[row][i] = glyph if cell == " " else "&"
+
+    col_w = max(max(len(str(x)) for x in x_values), 3) + 1
+    lines = [f"== {title} ==", f"max {hi:.1f}"]
+    for row in grid:
+        lines.append("  " + "".join(c.ljust(col_w) for c in row))
+    lines.append(f"min {lo:.1f}")
+    lines.append("  " + "".join(str(x).ljust(col_w) for x in x_values))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(rows)
+    )
+    lines.append(f"legend: {legend}  (&=overlap)")
+    return "\n".join(lines)
+
+
+def chart_for_experiment(data: dict) -> str | None:
+    """Best-effort chart for a figure dict (label + one numeric column)."""
+    rows = data.get("rows") or []
+    if not rows:
+        return None
+    numeric_cols = [
+        i
+        for i in range(1, len(rows[0]))
+        if all(isinstance(r[i], (int, float)) for r in rows)
+    ]
+    if not numeric_cols:
+        return None
+    col = numeric_cols[0]
+    items = [(str(r[0]), float(r[col])) for r in rows]
+    unit = "%" if "%" in str(data.get("headers", ["", ""])[col]) else ""
+    return bar_chart(data["title"], items, unit=unit)

@@ -1,0 +1,14 @@
+"""Decoupled frontend: FTQ, branch-prediction pipeline, fetch pipeline, PFC."""
+
+from repro.frontend.bpu import BranchPredictionUnit, Fault, compute_fault
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.ftq import FTQ, FTQEntry
+
+__all__ = [
+    "BranchPredictionUnit",
+    "Fault",
+    "compute_fault",
+    "FetchUnit",
+    "FTQ",
+    "FTQEntry",
+]

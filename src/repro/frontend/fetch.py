@@ -1,0 +1,311 @@
+"""Instruction fetch pipeline (Section IV-C) with Post-Fetch Correction.
+
+Two decoupled jobs, exactly as the paper describes:
+
+1. **I-cache fills** -- the oldest ``fetch_probe_width`` FTQ entries
+   awaiting translation probe the I-TLB and the I-cache tag array;
+   misses start fills immediately, long before the entry reaches the
+   FTQ head.  This run-ahead probing *is* the FDP prefetch.
+2. **Instruction fetch** -- the head entry, once its line is resident,
+   feeds up to ``fetch_width`` instructions per cycle into the decode
+   queue.  The first time an entry is fetched it is pre-decoded, which
+   is where PFC (Section III-B) and GHR2/GHR3 history fixups
+   (Section III-A) fire.
+
+PFC cases (Fig 5):
+
+* **Case 1** -- an *unconditional* branch lies before the entry's
+  termination offset: it was either predicted not-taken (impossible for
+  a detected unconditional here) or missed in the BTB.  Its target is
+  recoverable for PC-relative branches (from the encoding) and returns
+  (from the RAS); register-indirect branches cannot be corrected.
+* **Case 2** -- a *conditional* PC-relative branch before the end whose
+  direction hint says taken: always a BTB miss.
+
+Either way the FTQ is flushed behind the entry, the history is fixed,
+and prediction re-steers from the branch target immediately instead of
+waiting for the backend to flush the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.branch.history import HistoryManager
+from repro.common.params import SimParams
+from repro.common.stats import StatSet
+from repro.frontend.bpu import WRONG_PATH, BranchPredictionUnit, compute_fault
+from repro.frontend.ftq import (
+    FTQ,
+    STATE_AWAIT_FILL,
+    STATE_AWAIT_PROBE,
+    STATE_READY,
+    FTQEntry,
+)
+from repro.isa.instructions import BranchKind
+from repro.memory.hierarchy import InstructionMemory
+from repro.trace.cfg import Program
+from repro.trace.oracle import OracleStream
+
+
+class FetchUnit:
+    """Probe + fetch stages of the decoupled frontend."""
+
+    def __init__(
+        self,
+        params: SimParams,
+        program: Program,
+        stream: OracleStream,
+        ftq: FTQ,
+        memory: InstructionMemory,
+        bpu: BranchPredictionUnit,
+        hist_mgr: HistoryManager,
+        direction,
+        decode_queue,
+        stats: StatSet,
+        prefetcher=None,
+    ) -> None:
+        self.params = params
+        self.program = program
+        self.stream = stream
+        self.ftq = ftq
+        self.memory = memory
+        self.bpu = bpu
+        self.mgr = hist_mgr
+        self.direction = direction
+        self.decode_queue = decode_queue
+        self.stats = stats
+        self.prefetcher = prefetcher
+
+    # ------------------------------------------------------------------
+    # Fill wakeups
+    # ------------------------------------------------------------------
+    def complete_fills(self, fills, cycle: int) -> None:
+        """Wake FTQ entries whose lines arrived this cycle."""
+        for mshr in fills:
+            for waiter in mshr.waiters:
+                entry = waiter
+                if entry.state == STATE_AWAIT_FILL:
+                    entry.state = STATE_READY
+                    entry.way = 0
+                    entry.ready_cycle = cycle
+            if self.prefetcher is not None:
+                self.prefetcher.on_fill(mshr.line, cycle, mshr.is_prefetch)
+
+    # ------------------------------------------------------------------
+    # Probe stage
+    # ------------------------------------------------------------------
+    def probe_stage(self, cycle: int) -> None:
+        """Oldest awaiting entries probe I-TLB + I-cache tags."""
+        probes = self.params.frontend.fetch_probe_width
+        wrong_path_fills = self.params.frontend.wrong_path_fills
+        for idx, entry in enumerate(self.ftq):
+            if probes <= 0:
+                break
+            if entry.state != STATE_AWAIT_PROBE:
+                continue
+            if not wrong_path_fills and entry.cursor_seg == WRONG_PATH:
+                # Ablation mode: wrong-path entries consume no memory
+                # bandwidth; they become trivially 'ready' and are
+                # discarded by the flush before mattering.
+                entry.state = STATE_READY
+                entry.ready_cycle = cycle + 1
+                entry.way = 0
+                continue
+            probes -= 1
+            result = self.memory.demand_probe(entry.start, cycle, waiter=entry)
+            line = self.memory.l1i.line_of(entry.start)
+            if result.hit:
+                entry.state = STATE_READY
+                entry.way = result.way
+                entry.ready_cycle = result.ready_cycle
+            elif result.issued:
+                entry.state = STATE_AWAIT_FILL
+                # Fig 14 classifies miss *transactions*: a secondary miss
+                # merging into an in-flight demand fill is not one.
+                entry.missed = result.primary
+                entry.miss_issued_at_head = result.primary and idx == 0
+            else:
+                # MSHR full; retry next cycle.
+                self.stats.bump("probe_retry")
+                entry.missed = True
+            if self.prefetcher is not None:
+                # Secondary misses merge into an in-flight transaction;
+                # the prefetcher sees one miss event per transaction.
+                self.prefetcher.on_access(line, result.hit or not result.primary, cycle)
+
+    # ------------------------------------------------------------------
+    # Fetch stage
+    # ------------------------------------------------------------------
+    def fetch_stage(self, cycle: int) -> None:
+        """Move instructions from ready head entries to the decode queue."""
+        budget = min(self.params.frontend.fetch_width, self.decode_queue.free_slots)
+        while budget > 0:
+            head = self.ftq.head
+            if head is None:
+                break
+            if head.state != STATE_READY or head.ready_cycle > cycle:
+                if self.decode_queue.total_instrs < self.params.frontend.fetch_width:
+                    head.starved_while_head = True
+                break
+            if not head.pfc_checked:
+                head.pfc_checked = True
+                self._predecode_checks(head, cycle)
+            if head.consumed == 0:
+                self._classify_miss(head)
+            take = min(budget, head.remaining)
+            self._push_chunk(head, take)
+            head.consumed += take
+            budget -= take
+            if head.remaining == 0:
+                self.ftq.pop_head()
+
+    def _push_chunk(self, entry: FTQEntry, take: int) -> None:
+        """Hand ``take`` instructions of ``entry`` to the decode queue."""
+        fault = None
+        fault_index = -1
+        wrong_path = entry.cursor_seg == WRONG_PATH
+        if entry.fault is not None:
+            rel = (entry.fault.pc - entry.start) >> 2
+            if entry.consumed <= rel < entry.consumed + take:
+                fault = entry.fault
+                fault_index = rel - entry.consumed
+            elif entry.consumed > rel:
+                # Instructions past the divergence point are wrong-path;
+                # normally the fault's flush clears them first, but be
+                # explicit so they can never train or commit.
+                wrong_path = True
+        self.decode_queue.push(
+            n_instrs=take,
+            fault=fault,
+            fault_index=fault_index,
+            wrong_path=wrong_path,
+        )
+
+    def _classify_miss(self, entry: FTQEntry) -> None:
+        """Fig 14 classification, at first consumption of the entry."""
+        if not entry.missed:
+            return
+        if entry.miss_issued_at_head:
+            self.stats.bump("miss_fully_exposed")
+        elif entry.starved_while_head:
+            self.stats.bump("miss_partially_exposed")
+        else:
+            self.stats.bump("miss_covered")
+
+    # ------------------------------------------------------------------
+    # Pre-decode: PFC and history fixups
+    # ------------------------------------------------------------------
+    def _predecode_checks(self, entry: FTQEntry, cycle: int) -> None:
+        """Scan pre-decoded branches before the termination offset."""
+        pfc_on = self.params.frontend.pfc_enabled
+        fixup_on = self.mgr.fixes_not_taken
+        if not pfc_on and not fixup_on:
+            return
+        detected = entry.detected
+        addr = entry.start
+        while addr < entry.term_addr:
+            instr = self.program.instruction_at(addr)
+            addr += 4
+            if instr is None or instr.addr in detected:
+                continue
+            p = instr.addr
+            kind = instr.kind
+            if kind.is_unconditional:
+                if not pfc_on:
+                    continue
+                target = self._pfc_target(instr, entry)
+                if target is None:
+                    self.stats.bump("pfc_uncorrectable_indirect")
+                    continue
+                self.stats.bump("pfc_case1")
+                self._resteer(entry, p, True, target, kind, cycle, self.params.core.pfc_resteer_penalty)
+                return
+            # Conditional, undetected.
+            hint = self._hint(entry, p)
+            if hint and pfc_on:
+                self.stats.bump("pfc_case2")
+                self._resteer(entry, p, True, instr.target, kind, cycle, self.params.core.pfc_resteer_penalty)
+                return
+            if not hint and fixup_on:
+                self.stats.bump("ghr_fixup_flush")
+                self._resteer(entry, p, False, 0, kind, cycle, self.params.core.history_fixup_penalty)
+                return
+
+    def _pfc_target(self, instr, entry: FTQEntry) -> int | None:
+        """Pre-decode-recoverable target of an unconditional branch."""
+        if instr.kind.is_pc_relative:
+            return instr.target
+        if instr.kind.is_return:
+            return entry.ras_top
+        return None  # register-indirect: target unknown at pre-decode
+
+    def _hint(self, entry: FTQEntry, addr: int) -> bool:
+        """The EV8-style per-slot direction hint bit (lazily evaluated
+        with the history the prediction pipeline held for this slot)."""
+        hist = entry.hist_before(addr, self.mgr)
+        if self.params.branch.perfect_direction:
+            if entry.cursor_seg == WRONG_PATH:
+                return False
+            seg = self.stream.segments[entry.cursor_seg]
+            return seg.next_start != 0 and seg.end == addr
+        return self.direction.predict(addr, hist)
+
+    def _resteer(
+        self,
+        entry: FTQEntry,
+        p: int,
+        taken: bool,
+        target: int,
+        kind: BranchKind,
+        cycle: int,
+        penalty: int,
+    ) -> None:
+        """Truncate ``entry`` at ``p``, flush younger work, restart the BPU."""
+        old_fault = entry.fault
+        next_pc = target if taken else p + 4
+        entry.truncate(p, taken, target)
+        self.ftq.flush_younger_than(entry)
+
+        # Fix the global history up to and including the branch.
+        hist = entry.hist_before(p, self.mgr)
+        if taken:
+            hist = self.mgr.push_taken(hist, p, target)
+        else:
+            hist = self.mgr.push_not_taken(hist)
+
+        # Recompute the entry's divergence with the corrected terminator.
+        cursor = WRONG_PATH
+        if entry.cursor_seg != WRONG_PATH:
+            detected = frozenset(entry.detected) | {p}
+            fault, cont = compute_fault(
+                self.stream,
+                entry.cursor_seg,
+                entry.start,
+                p,
+                taken,
+                target,
+                detected,
+                self.program,
+            )
+            entry.fault = fault
+            if fault is None:
+                cursor = cont
+                if old_fault is not None and old_fault.pc == p:
+                    self.stats.bump("pfc_corrected_mispredict")
+            else:
+                if fault.kind_label == "pred_taken_wrong" and taken:
+                    self.stats.bump("pfc_false_positive")
+        else:
+            # Entry was already wrong-path; the re-steer stays wrong-path.
+            entry.fault = old_fault
+
+        # Apply the branch's RAS effect to the speculative RAS.  (Pushes
+        # and pops from flushed younger entries are not unwound -- real
+        # checkpointing recovers them; ours self-heals at the next
+        # backend flush.  See DESIGN.md deviations.)
+        if taken and kind.is_call:
+            self.bpu.ras.push(p + 4)
+        elif taken and kind.is_return:
+            self.bpu.ras.pop()
+
+        self.bpu.resteer(next_pc, hist, cursor, cycle + penalty)
+        self.stats.bump("frontend_resteer")

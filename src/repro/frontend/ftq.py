@@ -1,0 +1,160 @@
+"""Fetch Target Queue.
+
+The FTQ is the only structure FDP adds to a decoupled frontend
+(Section IV-A).  Each entry covers (part of) one aligned fetch block;
+its architectural fields follow Table III exactly -- start address,
+predicted-taken bit, block-termination offset, I-cache way, 2-bit
+state, and the per-instruction direction-hint bits that our extended
+PFC adds.  The remaining attributes are simulator bookkeeping (history
+snapshots, oracle cursor, miss-classification flags), not hardware
+state; :func:`entry_storage_bits` in :mod:`repro.core.metrics` computes
+the real 195-byte cost from the architectural fields alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.frontend.bpu import Fault
+
+# FTQ entry states (Table III / Section IV-C).
+STATE_AWAIT_PROBE = 1
+"""Branch prediction completed; waiting for I-TLB/I-cache tag lookup."""
+STATE_AWAIT_FILL = 2
+"""Tag lookup missed; an I-cache fill is in flight."""
+STATE_READY = 3
+"""Line resident; instructions can be sent to the decode queue."""
+
+
+@dataclass(slots=True)
+class FTQEntry:
+    """One FTQ entry plus simulator-side annotations."""
+
+    uid: int
+    start: int
+    term_addr: int
+    pred_taken: bool
+    pred_target: int
+    hist_snapshot: int
+    detected: tuple[int, ...] = ()
+    dir_pushes: tuple[tuple[int, bool], ...] = ()
+    """(branch addr, pushed bit) for detected branches, in address order;
+    empty under target history (nothing is pushed before the terminator)."""
+    ras_top: int | None = None
+    cursor_seg: int = -1
+    """Oracle segment index at ``start``; -1 = entry begins on the wrong path."""
+    fault: "Fault | None" = None
+
+    # Fetch-pipeline state.
+    state: int = STATE_AWAIT_PROBE
+    way: int = -1
+    ready_cycle: int = -1
+    consumed: int = 0
+    """Instructions already moved to the decode queue."""
+
+    # Miss-classification bookkeeping (Fig 14).
+    missed: bool = False
+    miss_issued_at_head: bool = False
+    starved_while_head: bool = False
+    pfc_checked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.term_addr < self.start:
+            raise ValueError("entry must cover at least one instruction")
+        if (self.term_addr - self.start) % 4:
+            raise ValueError("entry bounds must be instruction aligned")
+
+    @property
+    def n_instrs(self) -> int:
+        return ((self.term_addr - self.start) >> 2) + 1
+
+    @property
+    def remaining(self) -> int:
+        return self.n_instrs - self.consumed
+
+    @property
+    def next_fetch_addr(self) -> int:
+        """Address the stream continues at after this entry."""
+        if self.pred_taken:
+            return self.pred_target
+        return self.term_addr + 4
+
+    def truncate(self, new_term: int, taken: bool, target: int) -> None:
+        """Shrink the entry (PFC / history-fixup re-steer at ``new_term``)."""
+        if not self.start <= new_term <= self.term_addr:
+            raise ValueError("truncation point outside entry")
+        self.term_addr = new_term
+        self.pred_taken = taken
+        self.pred_target = target
+
+    def hist_before(self, addr: int, mgr) -> int:
+        """History the frontend held just before slot ``addr``.
+
+        Replays this entry's recorded pushes for detected branches older
+        than ``addr`` on top of the entry-start snapshot.  Under target
+        history there are no intra-entry pushes (footnote 1 of the
+        paper), so this returns the snapshot unchanged.
+        """
+        hist = self.hist_snapshot
+        for push_addr, bit in self.dir_pushes:
+            if push_addr >= addr:
+                break
+            if bit:
+                hist = mgr.push_taken(hist, push_addr, 0)
+            else:
+                hist = mgr.push_not_taken(hist)
+        return hist
+
+
+class FTQ:
+    """Bounded in-order queue of fetch targets."""
+
+    def __init__(self, n_entries: int) -> None:
+        if n_entries < 1:
+            raise ValueError("FTQ needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: deque[FTQEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, idx: int) -> FTQEntry:
+        return self._entries[idx]
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.n_entries
+
+    @property
+    def head(self) -> FTQEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def push(self, entry: FTQEntry) -> None:
+        if self.full:
+            raise RuntimeError("push into a full FTQ")
+        self._entries.append(entry)
+
+    def pop_head(self) -> FTQEntry:
+        return self._entries.popleft()
+
+    def flush_all(self) -> int:
+        """Backend flush: discard everything."""
+        n = len(self._entries)
+        self._entries.clear()
+        return n
+
+    def flush_younger_than(self, entry: FTQEntry) -> int:
+        """PFC / fixup re-steer: discard entries younger than ``entry``."""
+        count = 0
+        while self._entries and self._entries[-1] is not entry:
+            self._entries.pop()
+            count += 1
+        if not self._entries:
+            raise ValueError("reference entry not in FTQ")
+        return count

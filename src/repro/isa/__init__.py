@@ -1,0 +1,5 @@
+"""Instruction-set model: fixed-length 32-bit instructions and branch kinds."""
+
+from repro.isa.instructions import BranchKind, Instruction, is_branch_kind
+
+__all__ = ["BranchKind", "Instruction", "is_branch_kind"]

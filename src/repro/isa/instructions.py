@@ -1,0 +1,139 @@
+"""Static instruction model.
+
+The simulator is execution-driven over a synthetic *static program
+image*: a mapping from byte address to :class:`Instruction`.  Wrong-path
+fetch, pre-decode and Post-Fetch Correction (Section III-B) all read
+this image, exactly as hardware reads I-cache bytes.
+
+The ISA is deliberately minimal: fixed 32-bit instructions, and the
+branch taxonomy the paper's mechanisms distinguish between:
+
+* PC-relative branches (offset embedded in the instruction) -- their
+  target is recoverable at pre-decode time, so they are PFC candidates;
+* returns -- target comes from the RAS, also PFC-recoverable;
+* register-indirect branches/calls -- target unknown until execute, so
+  neither PFC nor BTB prefetching can supply it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class BranchKind(IntEnum):
+    """Control-flow classification of an instruction."""
+
+    NONE = 0
+    """Not a branch (ALU/load/store/nop)."""
+    COND_DIRECT = 1
+    """PC-relative conditional branch."""
+    UNCOND_DIRECT = 2
+    """PC-relative unconditional jump."""
+    CALL_DIRECT = 3
+    """PC-relative call (pushes the return address onto the RAS)."""
+    RETURN = 4
+    """Function return (target comes from the RAS)."""
+    INDIRECT = 5
+    """Register-indirect unconditional jump (target set at runtime)."""
+    INDIRECT_CALL = 6
+    """Register-indirect call."""
+
+    @property
+    def is_branch(self) -> bool:
+        return self is not BranchKind.NONE
+
+    @property
+    def is_conditional(self) -> bool:
+        return self is BranchKind.COND_DIRECT
+
+    @property
+    def is_unconditional(self) -> bool:
+        return self.is_branch and self is not BranchKind.COND_DIRECT
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchKind.CALL_DIRECT, BranchKind.INDIRECT_CALL)
+
+    @property
+    def is_return(self) -> bool:
+        return self is BranchKind.RETURN
+
+    @property
+    def is_indirect(self) -> bool:
+        """True when the target is register-relative (not in the encoding)."""
+        return self in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL)
+
+    @property
+    def is_pc_relative(self) -> bool:
+        """True when pre-decode can extract the target from the encoding."""
+        return self in (
+            BranchKind.COND_DIRECT,
+            BranchKind.UNCOND_DIRECT,
+            BranchKind.CALL_DIRECT,
+        )
+
+    @property
+    def pfc_eligible(self) -> bool:
+        """True when Post-Fetch Correction can compute the branch target.
+
+        The paper extends PFC to all PC-relative branches and returns
+        (Section III-B); register-indirect branches are excluded because
+        their target is not recoverable at pre-decode.
+        """
+        return self.is_pc_relative or self is BranchKind.RETURN
+
+
+def is_branch_kind(kind: BranchKind) -> bool:
+    """Module-level convenience mirroring :attr:`BranchKind.is_branch`."""
+    return kind is not BranchKind.NONE
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction in the program image.
+
+    ``target`` is the PC-relative destination for direct branches and
+    0 for everything else (indirect targets live in the behaviour
+    model, not the encoding -- just like real machine code).
+    ``behaviour`` indexes the program's branch-behaviour table and is
+    only meaningful for conditional/indirect branches.
+    """
+
+    addr: int
+    kind: BranchKind = BranchKind.NONE
+    target: int = 0
+    behaviour: int = -1
+
+    def __post_init__(self) -> None:
+        if self.addr % 4:
+            raise ValueError(f"instruction address {self.addr:#x} not 4-byte aligned")
+        if self.kind.is_pc_relative and self.target % 4:
+            raise ValueError("direct branch target must be 4-byte aligned")
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the sequentially next instruction."""
+        return self.addr + 4
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind.is_branch
+
+    def decode_target(self, ras_top: int | None = None) -> int | None:
+        """Return the target recoverable at pre-decode, if any.
+
+        Models the fetch-pipeline pre-decoder of Section IV-C: direct
+        branches expose their embedded offset; returns use the RAS top;
+        indirect branches yield ``None``.
+        """
+        if self.kind.is_pc_relative:
+            return self.target
+        if self.kind.is_return:
+            return ras_top
+        return None
+
+
+NOP = Instruction(addr=0)
+"""Prototype non-branch; fetching outside the program image decodes as this
+shape (at the fetched address)."""

@@ -1,0 +1,15 @@
+"""Instruction-side memory hierarchy substrate.
+
+Implements what the paper's frontend sits on top of: a set-associative
+L1 I-cache with LRU, a unified L2, a fixed-latency DRAM backstop,
+MSHRs with request merging, and an I-TLB.  All latencies are counted
+in core cycles; there is no bandwidth model beyond MSHR occupancy,
+matching the level of detail the paper's experiments depend on.
+"""
+
+from repro.memory.cache import Cache, CacheAccess
+from repro.memory.hierarchy import InstructionMemory
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+
+__all__ = ["Cache", "CacheAccess", "InstructionMemory", "MSHRFile", "TLB"]

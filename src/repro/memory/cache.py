@@ -1,0 +1,124 @@
+"""Generic set-associative cache model.
+
+Holds line *presence* only (this is an instruction-side simulator; data
+values come from the static program image).  LRU replacement, explicit
+tag-probe accounting -- Fig 9's I-cache tag-access comparison is driven
+by the ``tag_probes`` counter, so every lookup path is explicit about
+whether it models a real tag-array access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Result of a cache probe."""
+
+    hit: bool
+    way: int
+    """Way holding the line on a hit (the FTQ records this, Table III)."""
+    victim: int
+    """Line address evicted by a fill (0 when no eviction happened)."""
+
+
+class Cache:
+    """Set-associative, LRU, line-presence cache.
+
+    Sets are lists ordered most-recent-first; a list is tiny (the
+    associativity), so MRU reordering is cheap.
+    """
+
+    def __init__(self, n_lines: int, assoc: int, line_bytes: int, name: str = "cache") -> None:
+        if n_lines <= 0 or assoc <= 0:
+            raise ValueError("cache geometry must be positive")
+        if n_lines % assoc:
+            raise ValueError("n_lines must be a multiple of assoc")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        self.name = name
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.n_sets = n_lines // assoc
+        self._line_shift = line_bytes.bit_length() - 1
+        # Each set: list of line addresses, index 0 = MRU.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.tag_probes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, addr: int) -> int:
+        return (addr >> self._line_shift) % self.n_sets
+
+    def line_of(self, addr: int) -> int:
+        """Line address containing byte address ``addr``."""
+        return addr & ~(self.line_bytes - 1)
+
+    def probe(self, addr: int, count_tag_access: bool = True) -> CacheAccess:
+        """Tag lookup without fill.  Promotes the line to MRU on a hit."""
+        if count_tag_access:
+            self.tag_probes += 1
+        line = self.line_of(addr)
+        ways = self._sets[self._set_index(addr)]
+        for way, held in enumerate(ways):
+            if held == line:
+                self.hits += 1
+                if way:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                return CacheAccess(hit=True, way=way, victim=0)
+        self.misses += 1
+        return CacheAccess(hit=False, way=-1, victim=0)
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no side effects (no LRU update, no stats)."""
+        line = self.line_of(addr)
+        return line in self._sets[self._set_index(addr)]
+
+    def fill(self, addr: int) -> CacheAccess:
+        """Install the line holding ``addr``; returns the way and any victim.
+
+        Filling a line already present just refreshes its LRU position.
+        """
+        line = self.line_of(addr)
+        ways = self._sets[self._set_index(addr)]
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            return CacheAccess(hit=True, way=0, victim=0)
+        victim = 0
+        if len(ways) >= self.assoc:
+            victim = ways.pop()
+            self.evictions += 1
+        ways.insert(0, line)
+        return CacheAccess(hit=False, way=0, victim=victim)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr`` if present."""
+        line = self.line_of(addr)
+        ways = self._sets[self._set_index(addr)]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def reset_stats(self) -> None:
+        """Zero the counters (used at the warmup/measure boundary)."""
+        self.tag_probes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def resident_lines(self) -> set[int]:
+        """All resident line addresses (for tests and invariants)."""
+        out: set[int] = set()
+        for ways in self._sets:
+            out.update(ways)
+        return out

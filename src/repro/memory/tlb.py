@@ -1,0 +1,57 @@
+"""Instruction TLB.
+
+The FTQ stores virtual addresses only; the fetch pipeline translates
+just before the I-cache tag lookup (Section IV-A/C).  Translation is
+identity-mapped (synthetic programs have no paging structure), so the
+TLB models *latency* of misses, not address remapping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TLB:
+    """Fully-associative LRU translation cache over fixed-size pages."""
+
+    def __init__(self, n_entries: int, page_bytes: int, miss_latency: int) -> None:
+        if n_entries <= 0:
+            raise ValueError("need at least one TLB entry")
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        if miss_latency < 0:
+            raise ValueError("miss latency cannot be negative")
+        self.n_entries = n_entries
+        self.page_bytes = page_bytes
+        self.miss_latency = miss_latency
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr & ~(self.page_bytes - 1)
+
+    def translate(self, addr: int) -> int:
+        """Translate ``addr``; returns the added latency in cycles.
+
+        A miss installs the page (the walk itself is folded into the
+        returned latency rather than modelled as separate requests).
+        """
+        page = self.page_of(addr)
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self.n_entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return self.miss_latency
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no side effects."""
+        return self.page_of(addr) in self._pages
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

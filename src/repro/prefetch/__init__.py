@@ -1,0 +1,61 @@
+"""Dedicated instruction prefetchers and the BTB prefetcher (Section V).
+
+``create_prefetcher`` is the registry the simulator uses; the special
+names ``"none"`` and ``"perfect"`` are handled by the simulator itself
+(no prefetcher object / instant-fill memory).
+"""
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.djolt import DJoltPrefetcher
+from repro.prefetch.eip import EIP27, EIP128, EIPPrefetcher
+from repro.prefetch.fnl_mma import FNLMMAPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.profile_guided import ProfileGuidedPrefetcher, build_profile
+from repro.prefetch.rdip import RDIPPrefetcher
+from repro.prefetch.sn4l_dis_btb import SN4LDisBTBPrefetcher, SN4LDisPrefetcher
+
+_REGISTRY: dict[str, type[Prefetcher]] = {
+    "nl1": NextLinePrefetcher,
+    "eip128": EIP128,
+    "eip27": EIP27,
+    "fnl_mma": FNLMMAPrefetcher,
+    "djolt": DJoltPrefetcher,
+    "rdip": RDIPPrefetcher,
+    "sn4l_dis": SN4LDisPrefetcher,
+    "sn4l_dis_btb": SN4LDisBTBPrefetcher,
+    "profile_guided": ProfileGuidedPrefetcher,
+}
+
+
+def prefetcher_names() -> list[str]:
+    """All registered dedicated-prefetcher names."""
+    return sorted(_REGISTRY)
+
+
+def create_prefetcher(name: str, *, params, memory, btb, program, stats) -> Prefetcher:
+    """Instantiate a registered prefetcher by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; known: {', '.join(prefetcher_names())}"
+        ) from None
+    return cls(params, memory, btb, program, stats)
+
+
+__all__ = [
+    "Prefetcher",
+    "NextLinePrefetcher",
+    "EIPPrefetcher",
+    "EIP128",
+    "EIP27",
+    "FNLMMAPrefetcher",
+    "DJoltPrefetcher",
+    "RDIPPrefetcher",
+    "SN4LDisPrefetcher",
+    "SN4LDisBTBPrefetcher",
+    "ProfileGuidedPrefetcher",
+    "build_profile",
+    "create_prefetcher",
+    "prefetcher_names",
+]

@@ -1,0 +1,93 @@
+"""Prefetcher interface.
+
+Dedicated L1I prefetchers (the paper's comparison points, Section V)
+observe three event streams and may issue line-fill requests:
+
+* ``on_access``        -- every demand tag probe of the L1I (line, hit).
+* ``on_fill``          -- every line installed into the L1I.
+* ``on_commit_branch`` -- the committed branch stream (used by
+  call-context prefetchers like D-JOLT).
+
+Issued prefetches go through :meth:`enqueue`; a bounded number drain to
+the memory hierarchy per cycle, where each one probes the I-cache tag
+array first -- the redundant-probe energy cost Fig 9 quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.branch.btb import BTB
+from repro.common.params import SimParams
+from repro.common.stats import StatSet
+from repro.isa.instructions import BranchKind
+from repro.memory.hierarchy import InstructionMemory
+from repro.trace.cfg import Program
+
+MAX_ISSUE_PER_CYCLE = 4
+
+
+class Prefetcher:
+    """Base class: subclasses override the ``on_*`` hooks."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        params: SimParams,
+        memory: InstructionMemory,
+        btb: BTB,
+        program: Program,
+        stats: StatSet,
+    ) -> None:
+        self.params = params
+        self.memory = memory
+        self.btb = btb
+        self.program = program
+        self.stats = stats
+        self.line_bytes = params.memory.line_bytes
+        self._queue: deque[int] = deque()
+        self._queued: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Event hooks (no-ops by default)
+    # ------------------------------------------------------------------
+    def on_access(self, line: int, hit: bool, cycle: int) -> None:
+        """A demand tag probe touched ``line``."""
+
+    def on_fill(self, line: int, cycle: int, was_prefetch: bool) -> None:
+        """``line`` was installed into the L1I."""
+
+    def on_commit_branch(self, pc: int, kind: BranchKind, taken: bool, target: int) -> None:
+        """A branch committed."""
+
+    # ------------------------------------------------------------------
+    # Issue path
+    # ------------------------------------------------------------------
+    def enqueue(self, addr: int) -> None:
+        """Queue a prefetch for the line holding ``addr``."""
+        line = self.memory.l1i.line_of(addr)
+        if line in self._queued:
+            return
+        self._queue.append(line)
+        self._queued.add(line)
+
+    def cycle(self, cycle: int) -> None:
+        """Drain up to :data:`MAX_ISSUE_PER_CYCLE` queued prefetches."""
+        budget = MAX_ISSUE_PER_CYCLE
+        while budget > 0 and self._queue:
+            line = self._queue.popleft()
+            self._queued.discard(line)
+            self.memory.prefetch_line(line, cycle)
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Approximate metadata budget of this prefetcher."""
+        return 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

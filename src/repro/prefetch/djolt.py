@@ -1,0 +1,97 @@
+"""D-JOLT: distant jolt prefetcher (Nakamura et al., IPC-1).
+
+Improves on RDIP by generating prefetches from a *FIFO of recent
+function return addresses* rather than the RAS: the signature hashes
+the last few call sites, and each I-cache miss is recorded under the
+signature that was live a few calls *earlier*, so that when the same
+call context recurs the misses are prefetched well in advance.
+
+We keep D-JOLT's two-range structure: a short-range table keyed by the
+current signature and a long-range table keyed by an older signature.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.common.bits import mix64
+from repro.isa.instructions import BranchKind
+from repro.prefetch.base import Prefetcher
+
+_SIG_CALLS = 4
+_LINES_PER_ENTRY = 6
+_BYTES_PER_ENTRY = 16
+
+
+class DJoltPrefetcher(Prefetcher):
+    """Signature-driven temporal instruction prefetcher."""
+
+    name = "djolt"
+
+    def __init__(
+        self,
+        *args,
+        table_entries: int = 4096,
+        long_lag: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.table_entries = table_entries
+        self.long_lag = long_lag
+        self._call_fifo: deque[int] = deque(maxlen=_SIG_CALLS)
+        self._sig_history: deque[int] = deque(maxlen=long_lag + 1)
+        self._sig_history.append(0)
+        self._short: OrderedDict[int, list[int]] = OrderedDict()
+        self._long: OrderedDict[int, list[int]] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> int:
+        return self._sig_history[-1]
+
+    def _compute_signature(self) -> int:
+        sig = 0
+        for i, addr in enumerate(self._call_fifo):
+            sig ^= mix64(addr + i * 0x9E3779B9)
+        return sig & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------------
+    def on_commit_branch(self, pc: int, kind: BranchKind, taken: bool, target: int) -> None:
+        if not (taken and kind.is_call):
+            return
+        self._call_fifo.append(pc)
+        sig = self._compute_signature()
+        self._sig_history.append(sig)
+        # A new context: jolt out the recorded miss lines.
+        for table in (self._short, self._long):
+            lines = table.get(sig)
+            if lines:
+                table.move_to_end(sig)
+                for line in lines:
+                    self.enqueue(line)
+
+    def on_access(self, line: int, hit: bool, cycle: int) -> None:
+        if hit:
+            return
+        # Short range: attribute to the live signature; long range: to
+        # the signature several calls back, to run further ahead.
+        self._record(self._short, self._sig_history[-1], line)
+        self._record(self._long, self._sig_history[0], line)
+
+    def _record(self, table: OrderedDict, sig: int, line: int) -> None:
+        entry = table.get(sig)
+        if entry is None:
+            if len(table) >= self.table_entries:
+                table.popitem(last=False)
+            table[sig] = [line]
+            return
+        table.move_to_end(sig)
+        if line in entry:
+            return
+        if len(entry) >= _LINES_PER_ENTRY:
+            entry.pop(0)
+        entry.append(line)
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return 8 * 2 * self.table_entries * _BYTES_PER_ENTRY

@@ -1,0 +1,101 @@
+"""FNL+MMA (Seznec, IPC-1): Footprint Next Line + Multiple Miss Ahead.
+
+* **FNL** -- an aggressive next-line prefetcher gated by a learned
+  *footprint*: per line, a small bitmask of which of the next few lines
+  were historically used soon after it.  Only predicted-useful next
+  lines are prefetched (this is the tag-probe filter footnote 3 of the
+  paper refers to).
+* **MMA** -- a temporal component: the global miss stream is recorded,
+  and each miss is linked to the miss that occurred ``distance`` misses
+  later, so that on a recurrence the prefetcher runs several misses
+  ahead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.prefetch.base import Prefetcher
+
+_FOOTPRINT_SPAN = 4
+_BYTES_PER_FNL_ENTRY = 2
+_BYTES_PER_MMA_ENTRY = 8
+
+
+class FNLMMAPrefetcher(Prefetcher):
+    """Footprint Next Line + Multiple Miss Ahead."""
+
+    name = "fnl_mma"
+
+    def __init__(
+        self,
+        *args,
+        fnl_entries: int = 8192,
+        mma_entries: int = 8192,
+        miss_distance: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.fnl_entries = fnl_entries
+        self.mma_entries = mma_entries
+        self.miss_distance = miss_distance
+        self._footprint: OrderedDict[int, int] = OrderedDict()
+        self._mma: OrderedDict[int, int] = OrderedDict()
+        self._recent_accesses: deque[int] = deque(maxlen=_FOOTPRINT_SPAN)
+        self._recent_misses: deque[int] = deque(maxlen=miss_distance + 1)
+
+    # ------------------------------------------------------------------
+    def on_access(self, line: int, hit: bool, cycle: int) -> None:
+        # FNL issue: prefetch the predicted-useful next lines.
+        mask = self._footprint.get(line)
+        if mask:
+            self._footprint.move_to_end(line)
+            for i in range(1, _FOOTPRINT_SPAN + 1):
+                if mask & (1 << (i - 1)):
+                    self.enqueue(line + i * self.line_bytes)
+
+        # FNL train: if this access follows one of the previous few
+        # lines, mark this line in that predecessor's footprint.
+        for prev in self._recent_accesses:
+            delta = (line - prev) // self.line_bytes
+            if 1 <= delta <= _FOOTPRINT_SPAN:
+                self._set_footprint_bit(prev, delta)
+        if not self._recent_accesses or self._recent_accesses[-1] != line:
+            self._recent_accesses.append(line)
+
+        if not hit:
+            # Aggressive next-line on a miss (the 'NL' in FNL) plus the
+            # learned footprint issued above.
+            self.enqueue(line + self.line_bytes)
+            self._on_miss(line)
+
+    def _set_footprint_bit(self, base_line: int, delta: int) -> None:
+        mask = self._footprint.get(base_line, 0)
+        if base_line not in self._footprint and len(self._footprint) >= self.fnl_entries:
+            self._footprint.popitem(last=False)
+        self._footprint[base_line] = mask | (1 << (delta - 1))
+        self._footprint.move_to_end(base_line)
+
+    # ------------------------------------------------------------------
+    def _on_miss(self, line: int) -> None:
+        # MMA issue: jump straight to the miss recorded N-ahead.
+        ahead = self._mma.get(line)
+        if ahead is not None:
+            self._mma.move_to_end(line)
+            self.enqueue(ahead)
+
+        # MMA train: the miss 'distance' misses ago links to this one.
+        self._recent_misses.append(line)
+        if len(self._recent_misses) > self.miss_distance:
+            trigger = self._recent_misses[0]
+            if trigger != line:
+                if trigger not in self._mma and len(self._mma) >= self.mma_entries:
+                    self._mma.popitem(last=False)
+                self._mma[trigger] = line
+                self._mma.move_to_end(trigger)
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return 8 * (
+            self.fnl_entries * _BYTES_PER_FNL_ENTRY + self.mma_entries * _BYTES_PER_MMA_ENTRY
+        )

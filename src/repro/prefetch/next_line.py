@@ -1,0 +1,21 @@
+"""Next-line prefetcher (NL1).
+
+The simplest comparison point (Section V): on a demand I-cache miss,
+prefetch the sequentially next line.  Covers straight-line code only;
+discontinuous control flow defeats it, which is why it trails every
+other mechanism in Fig 6a.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """NL1: prefetch line X+1 on a miss of line X."""
+
+    name = "nl1"
+
+    def on_access(self, line: int, hit: bool, cycle: int) -> None:
+        if not hit:
+            self.enqueue(line + self.line_bytes)

@@ -1,0 +1,85 @@
+"""RDIP: RAS-Directed Instruction Prefetching (Kolli et al., MICRO'13).
+
+Discussed in the paper's related work (Section VII-A): program context
+is captured as a hash of the return-address stack; I-cache misses are
+recorded under the context in which they occur, and a recurrence of the
+same context prefetches them.  D-JOLT (also implemented here) improves
+on RDIP by replacing the stack hash with a FIFO of recent call sites;
+having both makes the lineage measurable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.bits import mix64
+from repro.isa.instructions import BranchKind
+from repro.prefetch.base import Prefetcher
+
+_RAS_DEPTH = 4
+_LINES_PER_ENTRY = 6
+_BYTES_PER_ENTRY = 16
+
+
+class RDIPPrefetcher(Prefetcher):
+    """Signature = hash of the top of the call stack."""
+
+    name = "rdip"
+
+    def __init__(self, *args, table_entries: int = 4096, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.table_entries = table_entries
+        self._stack: list[int] = []
+        self._table: OrderedDict[int, list[int]] = OrderedDict()
+        self._signature = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def signature(self) -> int:
+        return self._signature
+
+    def _recompute(self) -> None:
+        sig = 0
+        for i, addr in enumerate(self._stack[-_RAS_DEPTH:]):
+            sig ^= mix64(addr + i)
+        self._signature = sig & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------------
+    def on_commit_branch(self, pc: int, kind: BranchKind, taken: bool, target: int) -> None:
+        if not taken:
+            return
+        if kind.is_call:
+            self._stack.append(pc)
+            if len(self._stack) > 64:
+                self._stack.pop(0)
+        elif kind.is_return and self._stack:
+            self._stack.pop()
+        else:
+            return
+        self._recompute()
+        # Context switch: prefetch the misses recorded for this context.
+        lines = self._table.get(self._signature)
+        if lines:
+            self._table.move_to_end(self._signature)
+            for line in lines:
+                self.enqueue(line)
+
+    def on_access(self, line: int, hit: bool, cycle: int) -> None:
+        if hit:
+            return
+        entry = self._table.get(self._signature)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                self._table.popitem(last=False)
+            self._table[self._signature] = [line]
+            return
+        self._table.move_to_end(self._signature)
+        if line in entry:
+            return
+        if len(entry) >= _LINES_PER_ENTRY:
+            entry.pop(0)
+        entry.append(line)
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return 8 * self.table_entries * _BYTES_PER_ENTRY

@@ -1,0 +1,44 @@
+"""Synthetic workload substrate.
+
+The paper evaluates on the IPC-1 trace set (server/client/SPEC, 50M
+instructions each).  Those traces are not redistributable here, so this
+package builds the closest synthetic equivalent: control-flow-graph
+programs with parameterised instruction footprint, call depth, branch
+bias and loop structure, executed by a deterministic oracle interpreter
+into the committed instruction stream (see DESIGN.md, Section 2).
+"""
+
+from repro.trace.behaviors import (
+    BiasedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+)
+from repro.trace.cfg import Program, ProgramSpec, generate_program
+from repro.trace.oracle import OracleStream, Segment, run_oracle
+from repro.trace.reader import load_trace, save_trace
+from repro.trace.workloads import (
+    WorkloadSpec,
+    default_workloads,
+    make_trace,
+    workload_by_name,
+)
+
+__all__ = [
+    "BiasedBehaviour",
+    "IndirectBehaviour",
+    "LoopBehaviour",
+    "PatternBehaviour",
+    "Program",
+    "ProgramSpec",
+    "generate_program",
+    "OracleStream",
+    "Segment",
+    "run_oracle",
+    "load_trace",
+    "save_trace",
+    "WorkloadSpec",
+    "default_workloads",
+    "make_trace",
+    "workload_by_name",
+]

@@ -1,0 +1,164 @@
+"""Dynamic branch behaviours.
+
+A *behaviour* decides the runtime outcome of a static branch each time
+the oracle interpreter reaches it.  The mix of behaviours is what gives
+a workload its branch-prediction character:
+
+* :class:`BiasedBehaviour`  -- mostly-taken / mostly-not-taken branches;
+  trivial for any predictor, and the source of the "(almost) never taken"
+  branches that make BTB pollution and PFC false positives interesting
+  (Sections VI-B, VI-E).
+* :class:`PatternBehaviour` -- short repeating outcome patterns; learnable
+  by history-based predictors (TAGE) but not by bias alone.  These are the
+  branches that suffer when the global history is imprecise (Section III-A).
+* :class:`LoopBehaviour`    -- counted loops (taken ``trip - 1`` times, then
+  not taken once).
+* :class:`IndirectBehaviour`-- register-indirect target selection over a
+  target set, either round-robin (ITTAGE-learnable) or random.
+
+Behaviours are deliberately stateful and deterministic given the RNG
+stream so that a trace regenerates identically from its seed.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import SplitMix64
+
+
+class CondBehaviour:
+    """Base class for conditional-branch outcome generators."""
+
+    def outcome(self, rng: SplitMix64) -> bool:
+        """Return the next dynamic direction (True = taken)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state (used when a fresh oracle run starts)."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class BiasedBehaviour(CondBehaviour):
+    """Taken with fixed probability ``p_taken``, independently each time."""
+
+    __slots__ = ("p_taken",)
+
+    def __init__(self, p_taken: float) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ValueError("p_taken must be a probability")
+        self.p_taken = p_taken
+
+    def outcome(self, rng: SplitMix64) -> bool:
+        return rng.chance(self.p_taken)
+
+    def describe(self) -> str:
+        return f"biased(p={self.p_taken:g})"
+
+
+class PatternBehaviour(CondBehaviour):
+    """Cycles through a fixed boolean outcome pattern.
+
+    Perfectly predictable by a predictor with enough (precise!) history;
+    mispredicted when the history it indexes with has been corrupted by
+    undetected not-taken branches -- the exact failure mode taken-only
+    target history avoids.
+    """
+
+    __slots__ = ("pattern", "_pos")
+
+    def __init__(self, pattern: tuple[bool, ...]) -> None:
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = tuple(bool(b) for b in pattern)
+        self._pos = 0
+
+    def outcome(self, rng: SplitMix64) -> bool:
+        out = self.pattern[self._pos]
+        self._pos = (self._pos + 1) % len(self.pattern)
+        return out
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def describe(self) -> str:
+        bits = "".join("T" if b else "N" for b in self.pattern)
+        return f"pattern({bits})"
+
+
+class LoopBehaviour(CondBehaviour):
+    """Counted loop back-edge: taken ``trip - 1`` times, then not taken."""
+
+    __slots__ = ("trip", "_count")
+
+    def __init__(self, trip: int) -> None:
+        if trip < 1:
+            raise ValueError("trip count must be >= 1")
+        self.trip = trip
+        self._count = 0
+
+    def outcome(self, rng: SplitMix64) -> bool:
+        self._count += 1
+        if self._count >= self.trip:
+            self._count = 0
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def describe(self) -> str:
+        return f"loop(trip={self.trip})"
+
+
+class IndirectBehaviour:
+    """Selects among ``n_targets`` for an indirect branch or call.
+
+    ``mode='roundrobin'`` cycles deterministically (learnable with
+    history); ``mode='random'`` draws per ``weights`` (hard to predict,
+    exercising ITTAGE's allocation churn).
+    """
+
+    __slots__ = ("n_targets", "mode", "weights", "_pos")
+
+    def __init__(
+        self,
+        n_targets: int,
+        mode: str = "roundrobin",
+        weights: tuple[float, ...] | None = None,
+    ) -> None:
+        if n_targets < 1:
+            raise ValueError("need at least one target")
+        if mode not in ("roundrobin", "random"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if weights is not None:
+            if len(weights) != n_targets:
+                raise ValueError("weights length must match n_targets")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError("weights must be non-negative and sum > 0")
+        self.n_targets = n_targets
+        self.mode = mode
+        self.weights = weights
+        self._pos = 0
+
+    def select(self, rng: SplitMix64) -> int:
+        """Return the index of the next dynamic target."""
+        if self.mode == "roundrobin":
+            out = self._pos
+            self._pos = (self._pos + 1) % self.n_targets
+            return out
+        if self.weights is None:
+            return rng.randint(0, self.n_targets - 1)
+        pick = rng.random() * sum(self.weights)
+        acc = 0.0
+        for i, w in enumerate(self.weights):
+            acc += w
+            if pick < acc:
+                return i
+        return self.n_targets - 1
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def describe(self) -> str:
+        return f"indirect(n={self.n_targets},{self.mode})"

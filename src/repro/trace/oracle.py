@@ -1,0 +1,191 @@
+"""Oracle execution of a synthetic program.
+
+The interpreter walks a :class:`~repro.trace.cfg.Program` and produces
+the *committed* dynamic instruction stream as a list of
+:class:`Segment` records: maximal sequential runs separated by taken
+control transfers.  The simulator's backend commits this stream; the
+decoupled frontend must *predict* it, and every divergence between
+prediction and oracle is a branch misprediction.
+
+Segments also record every dynamic branch instance they contain
+(including not-taken conditionals), which is what predictor training,
+architectural history and the RAS consume at commit time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import SplitMix64
+from repro.isa.instructions import BranchKind
+from repro.trace.behaviors import CondBehaviour, IndirectBehaviour
+from repro.trace.cfg import Program
+
+
+@dataclass(slots=True)
+class Segment:
+    """A maximal sequential run of committed instructions.
+
+    ``branches`` holds ``(addr, kind, taken, target)`` for every dynamic
+    branch instance inside the run, in program order.  If the run ends
+    with a taken transfer, its last entry is that transfer and
+    ``next_start`` is its destination; a ``next_start`` of 0 marks the
+    end of the stream.
+    """
+
+    start: int
+    n_instrs: int
+    next_start: int = 0
+    branches: list[tuple[int, BranchKind, bool, int]] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Address of the last instruction in the run."""
+        return self.start + 4 * (self.n_instrs - 1)
+
+    @property
+    def limit(self) -> int:
+        """First address past the run."""
+        return self.start + 4 * self.n_instrs
+
+    @property
+    def taken_branch(self) -> tuple[int, BranchKind, bool, int] | None:
+        """The terminating taken transfer, if the run ends with one."""
+        if self.next_start and self.branches:
+            last = self.branches[-1]
+            if last[2]:
+                return last
+        return None
+
+
+@dataclass
+class OracleStream:
+    """The committed stream: segments plus summary statistics."""
+
+    segments: list[Segment]
+    total_instructions: int
+    total_branches: int
+    total_taken: int
+    cumulative: list[int] = field(default_factory=list)
+    """``cumulative[i]`` = committed instructions before segment ``i``."""
+
+    def __post_init__(self) -> None:
+        if not self.cumulative:
+            acc = 0
+            cum = []
+            for seg in self.segments:
+                cum.append(acc)
+                acc += seg.n_instrs
+            self.cumulative = cum
+
+    def segment_at_instruction(self, n: int) -> int:
+        """Index of the segment containing committed instruction ``n``."""
+        lo, hi = 0, len(self.segments) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.cumulative[mid] <= n:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    @property
+    def taken_per_kilo(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return 1000.0 * self.total_taken / self.total_instructions
+
+
+def run_oracle(program: Program, max_instructions: int, seed: int = 1) -> OracleStream:
+    """Execute ``program`` for at least ``max_instructions`` instructions.
+
+    Execution may overshoot by at most one basic block so that the final
+    segment ends at a block boundary.  Behaviour state is reset first,
+    so repeated calls with the same arguments are identical.
+    """
+    if max_instructions <= 0:
+        raise ValueError("max_instructions must be positive")
+    program.reset_behaviours()
+    rng = SplitMix64(seed)
+    behaviours = program.behaviours
+    blocks = program.blocks
+
+    stack: list[int] = []
+    segments: list[Segment] = []
+    total = 0
+    total_branches = 0
+    total_taken = 0
+
+    cur = blocks[program.entry]
+    seg = Segment(start=cur.start, n_instrs=0)
+
+    def close(target: int) -> None:
+        nonlocal seg
+        seg.next_start = target
+        segments.append(seg)
+        seg = Segment(start=target, n_instrs=0)
+
+    while total < max_instructions:
+        seg.n_instrs += cur.n_instrs
+        total += cur.n_instrs
+        kind = cur.kind
+        if kind is BranchKind.NONE:
+            cur = blocks[cur.fall_addr]
+            continue
+
+        term = cur.term_addr
+        total_branches += 1
+        if kind is BranchKind.COND_DIRECT:
+            beh = behaviours[cur.behaviour]
+            assert isinstance(beh, CondBehaviour)
+            taken = beh.outcome(rng)
+            seg.branches.append((term, kind, taken, cur.target))
+            if taken:
+                total_taken += 1
+                close(cur.target)
+                cur = blocks[cur.target]
+            else:
+                cur = blocks[cur.fall_addr]
+        elif kind is BranchKind.UNCOND_DIRECT:
+            total_taken += 1
+            seg.branches.append((term, kind, True, cur.target))
+            close(cur.target)
+            cur = blocks[cur.target]
+        elif kind is BranchKind.CALL_DIRECT:
+            total_taken += 1
+            stack.append(cur.fall_addr)
+            seg.branches.append((term, kind, True, cur.target))
+            close(cur.target)
+            cur = blocks[cur.target]
+        elif kind is BranchKind.RETURN:
+            if not stack:
+                # main's dead terminal return; the driver loop prevents
+                # this in practice, but end the stream gracefully.
+                break
+            target = stack.pop()
+            total_taken += 1
+            seg.branches.append((term, kind, True, target))
+            close(target)
+            cur = blocks[target]
+        elif kind in (BranchKind.INDIRECT, BranchKind.INDIRECT_CALL):
+            beh = behaviours[cur.behaviour]
+            assert isinstance(beh, IndirectBehaviour)
+            target = cur.targets[beh.select(rng)]
+            total_taken += 1
+            if kind is BranchKind.INDIRECT_CALL:
+                stack.append(cur.fall_addr)
+            seg.branches.append((term, kind, True, target))
+            close(target)
+            cur = blocks[target]
+        else:  # pragma: no cover - exhaustive over BranchKind
+            raise AssertionError(f"unhandled terminator kind {kind}")
+
+    if seg.n_instrs:
+        segments.append(seg)
+
+    return OracleStream(
+        segments=segments,
+        total_instructions=total,
+        total_branches=total_branches,
+        total_taken=total_taken,
+    )

@@ -1,0 +1,109 @@
+"""Trace (de)serialisation.
+
+Two formats:
+
+* **spec format** (default) -- a small JSON header recording the
+  workload's :class:`~repro.trace.cfg.ProgramSpec`, seeds and window;
+  loading regenerates the identical program and oracle stream.  This is
+  the honest equivalent of shipping a trace when generation is
+  deterministic.
+* **segment dump** (``include_segments=True``) -- additionally embeds
+  the committed stream as explicit segment records, for interchange
+  with external tools and for tests that want to diff regeneration
+  against a golden dump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.isa.instructions import BranchKind
+from repro.trace.cfg import Program, ProgramSpec, generate_program
+from repro.trace.oracle import OracleStream, Segment, run_oracle
+
+FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: ProgramSpec) -> dict:
+    out = dataclasses.asdict(spec)
+    # Tuples become lists in JSON; normalised back on load.
+    return out
+
+
+def _spec_from_dict(data: dict) -> ProgramSpec:
+    fields = {f.name: f.type for f in dataclasses.fields(ProgramSpec)}
+    kwargs = {}
+    for name, value in data.items():
+        if name not in fields:
+            raise ValueError(f"unknown ProgramSpec field {name!r} in trace file")
+        kwargs[name] = tuple(value) if isinstance(value, list) else value
+    return ProgramSpec(**kwargs)
+
+
+def save_trace(
+    path: str | Path,
+    spec: ProgramSpec,
+    program_seed: int,
+    oracle_seed: int,
+    n_instructions: int,
+    include_segments: bool = False,
+) -> None:
+    """Write a trace file; see the module docstring for formats."""
+    doc: dict = {
+        "format_version": FORMAT_VERSION,
+        "program_spec": _spec_to_dict(spec),
+        "program_seed": program_seed,
+        "oracle_seed": oracle_seed,
+        "n_instructions": n_instructions,
+    }
+    if include_segments:
+        program = generate_program(spec, program_seed)
+        stream = run_oracle(program, n_instructions, oracle_seed)
+        doc["segments"] = [
+            {
+                "start": seg.start,
+                "n": seg.n_instrs,
+                "next": seg.next_start,
+                "branches": [[a, int(k), t, tgt] for a, k, t, tgt in seg.branches],
+            }
+            for seg in stream.segments
+        ]
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_trace(path: str | Path) -> tuple[Program, OracleStream]:
+    """Load a trace file, regenerating or decoding as appropriate."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    spec = _spec_from_dict(doc["program_spec"])
+    program = generate_program(spec, doc["program_seed"])
+    if "segments" in doc:
+        segments = []
+        total = total_branches = total_taken = 0
+        for rec in doc["segments"]:
+            branches = [
+                (a, BranchKind(k), bool(t), tgt) for a, k, t, tgt in rec["branches"]
+            ]
+            seg = Segment(
+                start=rec["start"],
+                n_instrs=rec["n"],
+                next_start=rec["next"],
+                branches=branches,
+            )
+            segments.append(seg)
+            total += seg.n_instrs
+            total_branches += len(branches)
+            total_taken += sum(1 for b in branches if b[2])
+        stream = OracleStream(
+            segments=segments,
+            total_instructions=total,
+            total_branches=total_branches,
+            total_taken=total_taken,
+        )
+    else:
+        stream = run_oracle(program, doc["n_instructions"], doc["oracle_seed"])
+    return program, stream

@@ -1,0 +1,136 @@
+"""Unit tests for repro.trace.behaviors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import SplitMix64
+from repro.trace.behaviors import (
+    BiasedBehaviour,
+    IndirectBehaviour,
+    LoopBehaviour,
+    PatternBehaviour,
+)
+
+
+class TestBiased:
+    def test_extremes(self):
+        rng = SplitMix64(1)
+        always = BiasedBehaviour(1.0)
+        never = BiasedBehaviour(0.0)
+        assert all(always.outcome(rng) for _ in range(50))
+        assert not any(never.outcome(rng) for _ in range(50))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BiasedBehaviour(1.5)
+
+    def test_describe(self):
+        assert "biased" in BiasedBehaviour(0.5).describe()
+
+    def test_approximate_rate(self):
+        rng = SplitMix64(42)
+        b = BiasedBehaviour(0.8)
+        rate = sum(b.outcome(rng) for _ in range(5000)) / 5000
+        assert 0.75 < rate < 0.85
+
+
+class TestPattern:
+    def test_cycles_exactly(self):
+        rng = SplitMix64(1)
+        p = PatternBehaviour((True, False, True))
+        out = [p.outcome(rng) for _ in range(6)]
+        assert out == [True, False, True, True, False, True]
+
+    def test_reset(self):
+        rng = SplitMix64(1)
+        p = PatternBehaviour((True, False))
+        p.outcome(rng)
+        p.reset()
+        assert p.outcome(rng) is True
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PatternBehaviour(())
+
+    def test_describe(self):
+        assert PatternBehaviour((True, False)).describe() == "pattern(TN)"
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    def test_period_property(self, bits):
+        rng = SplitMix64(1)
+        p = PatternBehaviour(tuple(bits))
+        first = [p.outcome(rng) for _ in range(len(bits))]
+        second = [p.outcome(rng) for _ in range(len(bits))]
+        assert first == second == [bool(b) for b in bits]
+
+
+class TestLoop:
+    def test_trip_count(self):
+        rng = SplitMix64(1)
+        loop = LoopBehaviour(4)
+        out = [loop.outcome(rng) for _ in range(8)]
+        # taken 3x then exit, repeating
+        assert out == [True, True, True, False] * 2
+
+    def test_trip_one_never_taken(self):
+        rng = SplitMix64(1)
+        loop = LoopBehaviour(1)
+        assert not any(loop.outcome(rng) for _ in range(5))
+
+    def test_reset(self):
+        rng = SplitMix64(1)
+        loop = LoopBehaviour(3)
+        loop.outcome(rng)
+        loop.reset()
+        assert [loop.outcome(rng) for _ in range(3)] == [True, True, False]
+
+    def test_rejects_zero_trip(self):
+        with pytest.raises(ValueError):
+            LoopBehaviour(0)
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_exits_every_trip(self, trip):
+        rng = SplitMix64(1)
+        loop = LoopBehaviour(trip)
+        outcomes = [loop.outcome(rng) for _ in range(trip * 3)]
+        # Exactly one not-taken per trip activations.
+        assert outcomes.count(False) == 3
+
+
+class TestIndirect:
+    def test_roundrobin(self):
+        rng = SplitMix64(1)
+        b = IndirectBehaviour(3, mode="roundrobin")
+        assert [b.select(rng) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_random_in_range(self):
+        rng = SplitMix64(5)
+        b = IndirectBehaviour(4, mode="random")
+        picks = {b.select(rng) for _ in range(200)}
+        assert picks <= {0, 1, 2, 3}
+        assert len(picks) > 1
+
+    def test_weighted_respects_support(self):
+        rng = SplitMix64(5)
+        b = IndirectBehaviour(3, mode="random", weights=(1.0, 0.0, 0.0))
+        assert all(b.select(rng) == 0 for _ in range(100))
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            IndirectBehaviour(2, mode="sideways")
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            IndirectBehaviour(2, weights=(1.0,))
+
+    def test_rejects_zero_targets(self):
+        with pytest.raises(ValueError):
+            IndirectBehaviour(0)
+
+    def test_reset(self):
+        rng = SplitMix64(1)
+        b = IndirectBehaviour(3)
+        b.select(rng)
+        b.reset()
+        assert b.select(rng) == 0

@@ -1,0 +1,262 @@
+"""Tests for the branch prediction unit and fault computation."""
+
+import pytest
+
+from repro.branch.btb import BTB
+from repro.branch.history import HistoryManager
+from repro.branch.ittage import ITTAGE
+from repro.common.params import HistoryPolicy, SimParams
+from repro.common.stats import StatSet
+from repro.frontend.bpu import WRONG_PATH, BranchPredictionUnit, compute_fault
+from repro.frontend.ftq import FTQ
+from repro.isa.instructions import BranchKind, Instruction
+from tests.conftest import cond, jump, make_program, make_stream, seg
+
+
+# ----------------------------------------------------------------------
+# compute_fault: the prediction-vs-oracle divergence matrix
+# ----------------------------------------------------------------------
+class TestComputeFault:
+    def make(self, segments, branches=None):
+        return make_stream(segments), make_program(branches or {})
+
+    def test_sequential_entry_no_fault(self):
+        # Oracle run covers 0x1000..0x103C; entry covers the first block.
+        stream, program = self.make([seg(0x1000, 16, 0x8000, [jump(0x103C, 0x8000)])])
+        fault, cont = compute_fault(
+            stream, 0, 0x1000, 0x101C, False, 0, frozenset(), program
+        )
+        assert fault is None and cont == 0
+
+    def test_correct_taken_prediction_advances_segment(self):
+        stream, program = self.make(
+            [
+                seg(0x1000, 8, 0x8000, [jump(0x101C, 0x8000)]),
+                seg(0x8000, 8),
+            ]
+        )
+        fault, cont = compute_fault(
+            stream, 0, 0x1000, 0x101C, True, 0x8000, frozenset({0x101C}), program
+        )
+        assert fault is None and cont == 1
+
+    def test_wrong_target(self):
+        stream, program = self.make(
+            [
+                seg(0x1000, 8, 0x8000, [jump(0x101C, 0x8000)]),
+                seg(0x8000, 8),
+            ]
+        )
+        fault, cont = compute_fault(
+            stream, 0, 0x1000, 0x101C, True, 0x9000, frozenset({0x101C}), program
+        )
+        assert fault is not None
+        assert fault.kind_label == "wrong_target"
+        assert fault.pc == 0x101C
+        assert fault.correct_next == 0x8000
+        assert fault.next_seg == 1
+        assert fault.taken
+
+    def test_missed_taken_at_terminator_detected(self):
+        stream, program = self.make(
+            [
+                seg(0x1000, 8, 0x8000, [cond(0x101C, True, 0x8000)]),
+                seg(0x8000, 8),
+            ]
+        )
+        fault, _ = compute_fault(
+            stream, 0, 0x1000, 0x101C, False, 0, frozenset({0x101C}), program
+        )
+        assert fault.kind_label == "dir_nt"
+        assert fault.taken and fault.target == 0x8000
+
+    def test_missed_taken_btb_miss(self):
+        stream, program = self.make(
+            [
+                seg(0x1000, 8, 0x8000, [cond(0x101C, True, 0x8000)]),
+                seg(0x8000, 8),
+            ]
+        )
+        fault, _ = compute_fault(
+            stream, 0, 0x1000, 0x101C, False, 0, frozenset(), program
+        )
+        assert fault.kind_label == "btb_miss"
+
+    def test_missed_taken_inside_entry(self):
+        stream, program = self.make(
+            [
+                seg(0x1000, 4, 0x8000, [jump(0x100C, 0x8000)]),
+                seg(0x8000, 8),
+            ]
+        )
+        # Prediction sails sequentially to 0x101C past the oracle jump.
+        fault, _ = compute_fault(
+            stream, 0, 0x1000, 0x101C, False, 0, frozenset(), program
+        )
+        assert fault.pc == 0x100C
+        assert fault.kind_label == "btb_miss"
+        assert fault.correct_next == 0x8000
+
+    def test_predicted_taken_actually_not_taken(self):
+        branches = {0x1008: Instruction(0x1008, BranchKind.COND_DIRECT, 0x9000, 0)}
+        stream, program = self.make(
+            [seg(0x1000, 16, 0x8000, [cond(0x1008, False, 0x9000), jump(0x103C, 0x8000)])],
+            branches,
+        )
+        fault, _ = compute_fault(
+            stream, 0, 0x1000, 0x1008, True, 0x9000, frozenset({0x1008}), program
+        )
+        assert fault.kind_label == "pred_taken_wrong"
+        assert fault.pc == 0x1008
+        assert not fault.taken
+        assert fault.correct_next == 0x100C
+        assert fault.next_seg == 0  # same segment continues
+
+    def test_oracle_end_goes_wrong_path(self):
+        stream, program = self.make([seg(0x1000, 8)])  # no next segment
+        fault, cont = compute_fault(
+            stream, 0, 0x1000, 0x101C, False, 0, frozenset(), program
+        )
+        assert fault is None and cont == WRONG_PATH
+
+
+# ----------------------------------------------------------------------
+# BranchPredictionUnit entry formation on a hand-made oracle
+# ----------------------------------------------------------------------
+def build_bpu(stream, program, params=None, policy=HistoryPolicy.THR):
+    params = params or SimParams()
+    params = params.with_frontend(history_policy=policy)
+    btb = BTB(1024, 4)
+    mgr = HistoryManager(policy, 64)
+    ittage = ITTAGE(64)
+
+    class StubDirection:
+        """Always predicts a configured set of PCs taken."""
+
+        def __init__(self):
+            self.taken_pcs = set()
+
+        def predict(self, pc, hist):
+            return pc in self.taken_pcs
+
+        def update(self, pc, hist, taken):
+            pass
+
+    direction = StubDirection()
+    bpu = BranchPredictionUnit(params, program, stream, btb, direction, ittage, mgr, StatSet())
+    return bpu, btb, direction
+
+
+class TestPredictEntry:
+    def test_sequential_block_when_btb_empty(self):
+        stream = make_stream([seg(0x1000, 32, 0x8000, [jump(0x107C, 0x8000)]), seg(0x8000, 8)])
+        program = make_program({0x107C: Instruction(0x107C, BranchKind.UNCOND_DIRECT, 0x8000)})
+        bpu, btb, _ = build_bpu(stream, program)
+        ftq = FTQ(8)
+        bpu.cycle(0, ftq)
+        first = ftq[0]
+        assert first.start == 0x1000
+        assert not first.pred_taken
+        assert first.term_addr == 0x101C  # full aligned block
+        assert first.fault is None
+
+    def test_btb_hit_terminates_block(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [jump(0x100C, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.UNCOND_DIRECT, 0x8000)})
+        bpu, btb, _ = build_bpu(stream, program)
+        btb.insert(0x100C, BranchKind.UNCOND_DIRECT, 0x8000)
+        ftq = FTQ(8)
+        bpu.cycle(0, ftq)
+        first = ftq[0]
+        assert first.pred_taken and first.pred_target == 0x8000
+        assert first.term_addr == 0x100C
+        assert first.fault is None
+        # One taken prediction per cycle: the target entry arrives next cycle.
+        bpu.cycle(1, ftq)
+        assert ftq[1].start == 0x8000
+
+    def test_conditional_needs_direction_predictor(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [cond(0x100C, True, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.COND_DIRECT, 0x8000, 0)})
+        bpu, btb, direction = build_bpu(stream, program)
+        btb.insert(0x100C, BranchKind.COND_DIRECT, 0x8000)
+        ftq = FTQ(8)
+        bpu.cycle(0, ftq)
+        # Direction predictor says not-taken -> sail past -> fault.
+        assert ftq[0].fault is not None
+        assert ftq[0].fault.kind_label == "dir_nt"
+
+    def test_conditional_predicted_taken(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [cond(0x100C, True, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.COND_DIRECT, 0x8000, 0)})
+        bpu, btb, direction = build_bpu(stream, program)
+        btb.insert(0x100C, BranchKind.COND_DIRECT, 0x8000)
+        direction.taken_pcs.add(0x100C)
+        ftq = FTQ(8)
+        bpu.cycle(0, ftq)
+        assert ftq[0].pred_taken
+        assert ftq[0].fault is None
+
+    def test_wrong_path_entries_marked(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [jump(0x100C, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.UNCOND_DIRECT, 0x8000)})
+        bpu, btb, _ = build_bpu(stream, program)  # empty BTB: jump missed
+        ftq = FTQ(8)
+        bpu.cycle(0, ftq)
+        assert ftq[0].fault is not None
+        assert ftq[0].fault.kind_label == "btb_miss"
+        # Entries after the fault are wrong-path.
+        assert all(e.cursor_seg == WRONG_PATH for e in list(ftq)[1:])
+
+    def test_thr_history_updated_on_taken(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [jump(0x100C, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.UNCOND_DIRECT, 0x8000)})
+        bpu, btb, _ = build_bpu(stream, program)
+        btb.insert(0x100C, BranchKind.UNCOND_DIRECT, 0x8000)
+        ftq = FTQ(8)
+        assert bpu.hist == 0
+        bpu.cycle(0, ftq)
+        assert bpu.hist != 0
+
+    def test_calls_push_spec_ras(self):
+        stream = make_stream(
+            [seg(0x1000, 4, 0x8000, [(0x100C, BranchKind.CALL_DIRECT, True, 0x8000)]), seg(0x8000, 64)]
+        )
+        program = make_program({0x100C: Instruction(0x100C, BranchKind.CALL_DIRECT, 0x8000)})
+        bpu, btb, _ = build_bpu(stream, program)
+        btb.insert(0x100C, BranchKind.CALL_DIRECT, 0x8000)
+        bpu.cycle(0, FTQ(8))
+        assert bpu.ras.top() == 0x1010
+
+    def test_resteer_applies_btb_latency(self):
+        stream = make_stream([seg(0x1000, 64)])
+        program = make_program({})
+        bpu, _, _ = build_bpu(stream, program)
+        bpu.resteer(0x2000, 0, WRONG_PATH, ready_cycle=10)
+        assert bpu.stall_until == 10 + bpu.params.branch.btb_latency
+        ftq = FTQ(4)
+        bpu.cycle(10, ftq)
+        assert len(ftq) == 0  # stalled
+        bpu.cycle(bpu.stall_until, ftq)
+        assert len(ftq) > 0 and ftq[0].start == 0x2000
+
+    def test_ftq_full_stalls_without_losing_position(self):
+        stream = make_stream([seg(0x1000, 640)])
+        program = make_program({})
+        bpu, _, _ = build_bpu(stream, program)
+        ftq = FTQ(2)
+        bpu.cycle(0, ftq)
+        assert ftq.full
+        pc_before = bpu.pc
+        bpu.cycle(1, ftq)
+        assert bpu.pc == pc_before

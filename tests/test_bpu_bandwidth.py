@@ -1,0 +1,65 @@
+"""Tests for BPU bandwidth semantics (Fig 13 mechanics)."""
+
+from repro.common.params import SimParams
+from repro.frontend.ftq import FTQ
+from repro.isa.instructions import BranchKind, Instruction
+from tests.conftest import jump, make_program, make_stream, seg
+from tests.test_bpu import build_bpu
+
+
+def taken_chain_setup(n_links=8, stride=0x100):
+    """A chain of unconditional jumps, all in the BTB."""
+    segments = []
+    branches = {}
+    for i in range(n_links):
+        start = 0x1000 + i * stride
+        target = 0x1000 + (i + 1) * stride
+        segments.append(seg(start, 4, target, [jump(start + 12, target)]))
+        branches[start + 12] = Instruction(start + 12, BranchKind.UNCOND_DIRECT, target)
+    segments.append(seg(0x1000 + n_links * stride, 64))
+    return make_stream(segments), make_program(branches)
+
+
+class TestTakenBandwidth:
+    def test_one_taken_per_cycle_default(self):
+        stream, program = taken_chain_setup()
+        bpu, btb, _ = build_bpu(stream, program)
+        for instr in program.branches.values():
+            btb.insert(instr.addr, instr.kind, instr.target)
+        ftq = FTQ(16)
+        bpu.cycle(0, ftq)
+        taken_entries = [e for e in ftq if e.pred_taken]
+        assert len(taken_entries) == 1
+
+    def test_b18m_allows_two_takens_per_cycle(self):
+        stream, program = taken_chain_setup()
+        params = SimParams().with_frontend(predict_width=18, max_taken_per_cycle=2)
+        bpu, btb, _ = build_bpu(stream, program, params=params)
+        for instr in program.branches.values():
+            btb.insert(instr.addr, instr.kind, instr.target)
+        ftq = FTQ(16)
+        bpu.cycle(0, ftq)
+        taken_entries = [e for e in ftq if e.pred_taken]
+        assert len(taken_entries) == 2
+
+    def test_predict_width_caps_instructions(self):
+        # Pure sequential stream: one cycle covers at most predict_width
+        # instructions (within one block of overshoot).
+        stream = make_stream([seg(0x1000, 4096)])
+        params = SimParams().with_frontend(predict_width=6)
+        bpu, _, _ = build_bpu(stream, params=params, program=make_program({}))
+        ftq = FTQ(32)
+        bpu.cycle(0, ftq)
+        covered = sum(e.n_instrs for e in ftq)
+        assert covered <= 6 + 8  # budget plus at most one block overshoot
+
+    def test_wider_prediction_covers_more(self):
+        stream = make_stream([seg(0x1000, 4096)])
+        covered = {}
+        for width in (6, 18):
+            params = SimParams().with_frontend(predict_width=width)
+            bpu, _, _ = build_bpu(stream, params=params, program=make_program({}))
+            ftq = FTQ(32)
+            bpu.cycle(0, ftq)
+            covered[width] = sum(e.n_instrs for e in ftq)
+        assert covered[18] > covered[6]

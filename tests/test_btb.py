@@ -1,0 +1,110 @@
+"""Tests for the Branch Target Buffer (repro.branch.btb)."""
+
+import pytest
+
+from repro.branch.btb import BTB
+from repro.isa.instructions import BranchKind
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BTB(100, 3)
+        with pytest.raises(ValueError):
+            BTB(0, 1)
+
+    def test_set_count(self):
+        assert BTB(1024, 4).n_sets == 256
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        btb = BTB(64, 4)
+        assert btb.lookup(0x4000) is None
+        btb.insert(0x4000, BranchKind.UNCOND_DIRECT, 0x5000)
+        entry = btb.lookup(0x4000)
+        assert entry is not None and entry.target == 0x5000
+
+    def test_update_in_place(self):
+        btb = BTB(64, 4)
+        btb.insert(0x4000, BranchKind.INDIRECT, 0x5000)
+        btb.insert(0x4000, BranchKind.INDIRECT, 0x6000)
+        assert btb.lookup(0x4000).target == 0x6000
+        assert btb.occupancy == 1
+
+    def test_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            BTB(64, 4).insert(0x4000, BranchKind.NONE, 0)
+
+    def test_contains_is_silent(self):
+        btb = BTB(64, 4)
+        btb.insert(0x4000, BranchKind.RETURN, 0)
+        lookups = btb.lookups
+        assert btb.contains(0x4000)
+        assert not btb.contains(0x4004)
+        assert btb.lookups == lookups
+
+
+class TestSetMapping:
+    def test_same_16b_chunk_same_set(self):
+        btb = BTB(64, 4)
+        # Branches at 0x4000 and 0x400C share the 16B chunk -> same set.
+        assert btb._set_index(0x4000) == btb._set_index(0x400C)
+        assert btb._set_index(0x4000) != btb._set_index(0x4010)
+
+    def test_lru_eviction_within_set(self):
+        btb = BTB(8, 2)  # 4 sets
+        span = btb.n_sets * 16
+        a, b, c = 0x4000, 0x4000 + span, 0x4000 + 2 * span
+        btb.insert(a, BranchKind.UNCOND_DIRECT, 0x100)
+        btb.insert(b, BranchKind.UNCOND_DIRECT, 0x100)
+        btb.lookup(a)  # a MRU
+        btb.insert(c, BranchKind.UNCOND_DIRECT, 0x100)  # evicts b
+        assert btb.contains(a) and btb.contains(c)
+        assert not btb.contains(b)
+        assert btb.evictions == 1
+
+
+class TestScanBlock:
+    def test_finds_branches_in_range_sorted(self):
+        btb = BTB(256, 4)
+        btb.insert(0x4008, BranchKind.COND_DIRECT, 0x100)
+        btb.insert(0x4010, BranchKind.RETURN, 0)
+        btb.insert(0x4030, BranchKind.CALL_DIRECT, 0x200)  # outside 32B block
+        found = btb.scan_block(0x4000, 0x401C)
+        assert [e.addr for e in found] == [0x4008, 0x4010]
+
+    def test_respects_start_offset(self):
+        btb = BTB(256, 4)
+        btb.insert(0x4004, BranchKind.COND_DIRECT, 0x100)
+        found = btb.scan_block(0x4008, 0x401C)
+        assert found == []
+
+    def test_scan_promotes_mru(self):
+        btb = BTB(8, 2)
+        span = btb.n_sets * 16
+        a, b = 0x4000, 0x4000 + span
+        btb.insert(a, BranchKind.UNCOND_DIRECT, 0x100)
+        btb.insert(b, BranchKind.UNCOND_DIRECT, 0x100)
+        btb.scan_block(a, a + 12)  # touches a
+        btb.insert(0x4000 + 2 * span, BranchKind.UNCOND_DIRECT, 0x100)
+        assert btb.contains(a)
+
+    def test_empty_scan(self):
+        assert BTB(64, 4).scan_block(0x4000, 0x401C) == []
+
+
+class TestInvalidate:
+    def test_invalidate(self):
+        btb = BTB(64, 4)
+        btb.insert(0x4000, BranchKind.RETURN, 0)
+        assert btb.invalidate(0x4000)
+        assert not btb.contains(0x4000)
+        assert not btb.invalidate(0x4000)
+
+    def test_reset_stats(self):
+        btb = BTB(64, 4)
+        btb.insert(0x4000, BranchKind.RETURN, 0)
+        btb.lookup(0x4000)
+        btb.reset_stats()
+        assert btb.lookups == 0 and btb.insertions == 0

@@ -1,0 +1,149 @@
+"""Tests for the set-associative cache model (repro.memory.cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+
+
+def small_cache(n_lines=8, assoc=2, line_bytes=64):
+    return Cache(n_lines, assoc, line_bytes, name="t")
+
+
+class TestGeometry:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Cache(0, 1, 64)
+        with pytest.raises(ValueError):
+            Cache(7, 2, 64)
+        with pytest.raises(ValueError):
+            Cache(8, 2, 48)
+
+    def test_set_count(self):
+        c = small_cache(16, 4)
+        assert c.n_sets == 4
+
+    def test_line_of(self):
+        c = small_cache()
+        assert c.line_of(0x10FF) == 0x10C0
+
+
+class TestProbeFill:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.probe(0x1000).hit
+        c.fill(0x1000)
+        access = c.probe(0x1000)
+        assert access.hit
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_offsets_hit(self):
+        c = small_cache()
+        c.fill(0x1000)
+        assert c.probe(0x103C).hit
+
+    def test_tag_probe_counting(self):
+        c = small_cache()
+        c.probe(0x1000)
+        c.probe(0x1000, count_tag_access=False)
+        assert c.tag_probes == 1
+
+    def test_contains_no_side_effects(self):
+        c = small_cache()
+        c.fill(0x1000)
+        before = (c.hits, c.misses, c.tag_probes)
+        assert c.contains(0x1000)
+        assert not c.contains(0x9000)
+        assert (c.hits, c.misses, c.tag_probes) == before
+
+    def test_fill_is_idempotent_on_presence(self):
+        c = small_cache()
+        c.fill(0x1000)
+        result = c.fill(0x1000)
+        assert result.hit
+        assert c.occupancy == 1
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        c = small_cache(n_lines=4, assoc=2)  # 2 sets
+        # Same set: lines whose index maps to set 0.
+        step = c.n_sets * 64
+        a, b, d = 0x0, step, 2 * step
+        c.fill(a)
+        c.fill(b)
+        access = c.fill(d)  # evicts LRU = a
+        assert access.victim == a
+        assert not c.contains(a)
+        assert c.contains(b) and c.contains(d)
+
+    def test_probe_refreshes_lru(self):
+        c = small_cache(n_lines=4, assoc=2)
+        step = c.n_sets * 64
+        a, b, d = 0x0, step, 2 * step
+        c.fill(a)
+        c.fill(b)
+        c.probe(a)  # a becomes MRU
+        access = c.fill(d)
+        assert access.victim == b
+
+    def test_eviction_counter(self):
+        c = small_cache(n_lines=4, assoc=1)
+        step = c.n_sets * 64
+        c.fill(0)
+        c.fill(step)
+        assert c.evictions == 1
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = small_cache()
+        c.fill(0x1000)
+        assert c.invalidate(0x1000)
+        assert not c.contains(0x1000)
+
+    def test_invalidate_absent(self):
+        assert not small_cache().invalidate(0x1000)
+
+
+class TestStats:
+    def test_reset(self):
+        c = small_cache()
+        c.probe(0x1000)
+        c.reset_stats()
+        assert c.tag_probes == 0 and c.misses == 0
+
+    def test_resident_lines(self):
+        c = small_cache()
+        c.fill(0x1000)
+        c.fill(0x2000)
+        assert c.resident_lines() == {0x1000, 0x2000}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200)
+)
+def test_matches_reference_lru_model(addrs):
+    """The cache must agree with a straightforward per-set LRU model."""
+    cache = Cache(16, 4, 64)
+    reference: dict[int, list[int]] = {i: [] for i in range(cache.n_sets)}
+
+    for addr in addrs:
+        line = addr & ~63
+        set_idx = (line >> 6) % cache.n_sets
+        ways = reference[set_idx]
+        model_hit = line in ways
+        got = cache.probe(addr)
+        assert got.hit == model_hit
+        if model_hit:
+            ways.remove(line)
+            ways.insert(0, line)
+        else:
+            cache.fill(addr)
+            if len(ways) >= 4:
+                ways.pop()
+            ways.insert(0, line)
+
+    assert cache.resident_lines() == {l for ways in reference.values() for l in ways}

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "srv_web"
+        assert args.ftq == 24
+        assert not args.no_pfc
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--workload", "spc_fp", "--ftq", "2", "--no-pfc",
+             "--btb", "1024", "--history", "GHR2", "--prefetcher", "nl1"]
+        )
+        assert args.workload == "spc_fp"
+        assert args.btb == 1024
+        assert args.history == "GHR2"
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--history", "XYZ"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "srv_web" in out
+        assert "eip128" in out
+        assert "fig14" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "--workload", "spc_fp", "--warmup", "1000",
+             "--instructions", "2500", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC=" in out
+        assert "l1i_tag_access" in out
+
+    def test_run_with_gshare_and_prefetcher(self, capsys):
+        code = main(
+            ["run", "--workload", "spc_fp", "--warmup", "1000",
+             "--instructions", "2500", "--direction", "gshare",
+             "--prefetcher", "nl1", "--ftq", "2"]
+        )
+        assert code == 0
+
+    def test_report_static_tables(self, capsys):
+        assert main(["report", "table3", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "195 bytes" in out
+        assert "Table V" in out
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["report", "fig99"]) == 2

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run to completion.
+
+Marked slow: each example simulates tens of thousands of instructions.
+Windows are shrunk via the scripts' own defaults where possible; the
+point is end-to-end executability of the documented entry points.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    script = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", ["spc_fp"])
+        out = capsys.readouterr().out
+        assert "speedup over baseline" in out
+
+    def test_frontend_sizing(self, capsys):
+        run_example("frontend_sizing.py", ["spc_fp"])
+        out = capsys.readouterr().out
+        assert "FTQ depth" in out and "BTB capacity" in out
+
+    def test_custom_workload(self, capsys):
+        run_example("custom_workload.py")
+        out = capsys.readouterr().out
+        assert "round-tripped" in out
+
+    def test_history_policies(self, capsys):
+        run_example("history_policies.py", ["spc_fp"])
+        out = capsys.readouterr().out
+        assert "THR" in out and "branch MPKI" in out
+
+    def test_prefetcher_shootout(self, capsys):
+        run_example("prefetcher_shootout.py")
+        out = capsys.readouterr().out
+        assert "FDP (24-entry FTQ)" in out

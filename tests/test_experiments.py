@@ -1,0 +1,142 @@
+"""Tests for the experiments layer (configs, runner, report, figures)."""
+
+import pytest
+
+from repro.common.params import HistoryPolicy, SimParams
+from repro.experiments.configs import (
+    QUICK_WORKLOADS,
+    baseline_params,
+    default_params,
+    evaluation_workloads,
+    no_fdp,
+)
+from repro.experiments.figures import table1, table3, table4, table5
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import (
+    cache_size,
+    clear_cache,
+    geomean_speedup,
+    mean_metric,
+    run_config,
+    run_matrix,
+)
+
+
+class TestConfigs:
+    def test_default_params_fdp_on(self):
+        p = default_params()
+        assert p.frontend.fdp_enabled and p.frontend.pfc_enabled
+
+    def test_no_fdp(self):
+        p = no_fdp(default_params())
+        assert not p.frontend.fdp_enabled and not p.frontend.pfc_enabled
+
+    def test_baseline_is_no_fdp(self):
+        assert not baseline_params().frontend.fdp_enabled
+
+    def test_env_windows(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARMUP", "123")
+        monkeypatch.setenv("REPRO_SIM", "456")
+        p = default_params()
+        assert p.warmup_instructions == 123
+        assert p.sim_instructions == 456
+
+    def test_env_bad_int_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM", "soon")
+        with pytest.raises(ValueError):
+            default_params()
+
+    def test_workloads_all(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        assert len(evaluation_workloads()) == 8
+
+    def test_workloads_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "quick")
+        assert evaluation_workloads() == QUICK_WORKLOADS
+
+    def test_workloads_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "spc_fp, srv_web")
+        assert evaluation_workloads() == ["spc_fp", "srv_web"]
+
+    def test_workloads_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "srv_nope")
+        with pytest.raises(ValueError):
+            evaluation_workloads()
+
+
+class TestRunner:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def fast(self):
+        return SimParams(warmup_instructions=1_000, sim_instructions=2_500)
+
+    def test_run_config_caches(self):
+        p = self.fast()
+        a = run_config("spc_fp", p)
+        size = cache_size()
+        b = run_config("spc_fp", p)
+        assert a is b
+        assert cache_size() == size
+
+    def test_distinct_params_not_conflated(self):
+        a = run_config("spc_fp", self.fast())
+        b = run_config("spc_fp", self.fast().with_branch(btb_entries=1024))
+        assert a is not b
+
+    def test_run_matrix_shape(self):
+        results = run_matrix({"a": self.fast()}, ["spc_fp"])
+        assert set(results) == {"a"}
+        assert set(results["a"]) == {"spc_fp"}
+
+    def test_geomean_speedup_identity(self):
+        results = run_matrix({"a": self.fast()}, ["spc_fp"])
+        assert geomean_speedup(results, "a", "a") == pytest.approx(1.0)
+
+    def test_mean_metric(self):
+        results = run_matrix({"a": self.fast()}, ["spc_fp"])
+        assert mean_metric(results, "a", "ipc") == results["a"]["spc_fp"].ipc
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table("T", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "== T ==" in text
+        assert "2.50" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [[1, 2]])
+
+    def test_pct(self):
+        assert pct(1.41) == "+41.0%"
+        assert pct(0.9) == "-10.0%"
+
+
+class TestStaticTables:
+    def test_table1_includes_paper_rows(self):
+        t = table1()
+        flat = str(t["rows"])
+        assert "Shotgun" in flat and "Zen2" in flat
+
+    def test_table3_totals_match_paper(self):
+        t = table3()
+        flat = str(t["rows"])
+        assert "195 bytes" in flat
+        assert "24 bytes" in flat
+
+    def test_table4_lists_core_parameters(self):
+        t = table4()
+        flat = str(t["rows"])
+        assert "TAGE" in flat and "FTQ" in flat
+
+    def test_table5_covers_all_policies(self):
+        t = table5()
+        assert len(t["rows"]) == len(HistoryPolicy)
+        flat = str(t["rows"])
+        assert "taken-only" in flat and "direction" in flat

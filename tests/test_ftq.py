@@ -1,0 +1,126 @@
+"""Tests for the Fetch Target Queue (repro.frontend.ftq)."""
+
+import pytest
+
+from repro.branch.history import HistoryManager
+from repro.common.params import HistoryPolicy
+from repro.frontend.ftq import FTQ, STATE_AWAIT_PROBE, FTQEntry
+
+
+def entry(uid=0, start=0x1000, term=0x101C, taken=False, target=0, **kw):
+    return FTQEntry(
+        uid=uid,
+        start=start,
+        term_addr=term,
+        pred_taken=taken,
+        pred_target=target,
+        hist_snapshot=0,
+        **kw,
+    )
+
+
+class TestEntry:
+    def test_n_instrs(self):
+        assert entry(start=0x1000, term=0x101C).n_instrs == 8
+        assert entry(start=0x1008, term=0x1008).n_instrs == 1
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            entry(start=0x1010, term=0x1000)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            entry(start=0x1000, term=0x1002)
+
+    def test_next_fetch_addr_sequential(self):
+        assert entry(start=0x1000, term=0x101C).next_fetch_addr == 0x1020
+
+    def test_next_fetch_addr_taken(self):
+        e = entry(taken=True, target=0x8000)
+        assert e.next_fetch_addr == 0x8000
+
+    def test_remaining_tracks_consumption(self):
+        e = entry()
+        assert e.remaining == 8
+        e.consumed = 3
+        assert e.remaining == 5
+
+    def test_truncate(self):
+        e = entry(start=0x1000, term=0x101C)
+        e.truncate(0x1008, True, 0x9000)
+        assert e.term_addr == 0x1008
+        assert e.pred_taken and e.pred_target == 0x9000
+        assert e.n_instrs == 3
+
+    def test_truncate_outside_raises(self):
+        with pytest.raises(ValueError):
+            entry(start=0x1000, term=0x101C).truncate(0x1020, False, 0)
+
+    def test_hist_before_thr_is_snapshot(self):
+        mgr = HistoryManager(HistoryPolicy.THR, 64)
+        e = entry()
+        e.hist_snapshot = 0xABC
+        assert e.hist_before(0x1010, mgr) == 0xABC
+
+    def test_hist_before_replays_direction_pushes(self):
+        mgr = HistoryManager(HistoryPolicy.GHR0, 64)
+        e = entry(dir_pushes=((0x1004, False), (0x1008, True), (0x1010, False)))
+        e.hist_snapshot = 0b1
+        # Pushes strictly before 0x1010: NT at 0x1004, T at 0x1008.
+        assert e.hist_before(0x1010, mgr) == 0b101
+        # Before 0x1004: nothing replayed.
+        assert e.hist_before(0x1004, mgr) == 0b1
+
+
+class TestQueue:
+    def test_push_pop_order(self):
+        q = FTQ(4)
+        a, b = entry(uid=1), entry(uid=2)
+        q.push(a)
+        q.push(b)
+        assert q.head is a
+        assert q.pop_head() is a
+        assert q.head is b
+
+    def test_full(self):
+        q = FTQ(2)
+        q.push(entry(uid=1))
+        q.push(entry(uid=2))
+        assert q.full
+        with pytest.raises(RuntimeError):
+            q.push(entry(uid=3))
+
+    def test_flush_all(self):
+        q = FTQ(4)
+        q.push(entry(uid=1))
+        q.push(entry(uid=2))
+        assert q.flush_all() == 2
+        assert len(q) == 0 and q.head is None
+
+    def test_flush_younger_than(self):
+        q = FTQ(8)
+        entries = [entry(uid=i) for i in range(4)]
+        for e in entries:
+            q.push(e)
+        dropped = q.flush_younger_than(entries[1])
+        assert dropped == 2
+        assert [e.uid for e in q] == [0, 1]
+
+    def test_flush_younger_missing_entry_raises(self):
+        q = FTQ(4)
+        q.push(entry(uid=1))
+        with pytest.raises(ValueError):
+            q.flush_younger_than(entry(uid=99))
+
+    def test_iteration_and_index(self):
+        q = FTQ(4)
+        q.push(entry(uid=5))
+        assert q[0].uid == 5
+        assert [e.uid for e in q] == [5]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FTQ(0)
+
+    def test_initial_state(self):
+        assert entry().state == STATE_AWAIT_PROBE

@@ -1,0 +1,53 @@
+"""Tests for the Gshare predictor (repro.branch.gshare)."""
+
+import pytest
+
+from repro.branch.gshare import Gshare
+
+
+class TestGshare:
+    def test_rejects_bad_storage(self):
+        with pytest.raises(ValueError):
+            Gshare(storage_kib=0)
+
+    def test_unseen_defaults_not_taken(self):
+        assert Gshare().predict(0x4000, 0) is False
+
+    def test_learns_bias(self):
+        g = Gshare()
+        for _ in range(4):
+            g.update(0x4000, 0, True)
+        assert g.predict(0x4000, 0) is True
+
+    def test_hysteresis(self):
+        g = Gshare()
+        for _ in range(4):
+            g.update(0x4000, 0, True)
+        g.update(0x4000, 0, False)  # single flip shouldn't change it
+        assert g.predict(0x4000, 0) is True
+
+    def test_history_masking(self):
+        g = Gshare(history_bits=4)
+        # Histories equal modulo 2^4 index identically.
+        h1 = 0b10101
+        h2 = h1 & 0xF
+        for _ in range(4):
+            g.update(0x4000, h1, True)
+        assert g.predict(0x4000, h2) is True
+
+    def test_history_xor_distinguishes(self):
+        g = Gshare()
+        for _ in range(4):
+            g.update(0x4000, 0b0001, True)
+            g.update(0x4000, 0b0010, False)
+        assert g.predict(0x4000, 0b0001) is True
+        assert g.predict(0x4000, 0b0010) is False
+
+    def test_storage_bits(self):
+        assert Gshare(storage_kib=8).storage_bits() == 8 * 1024 * 8
+
+    def test_counters(self):
+        g = Gshare()
+        g.predict(0, 0)
+        g.update(0, 0, True)
+        assert g.predictions == 1 and g.updates == 1

@@ -1,0 +1,163 @@
+"""Tests for the instruction memory hierarchy (repro.memory.hierarchy)."""
+
+import pytest
+
+from repro.common.params import MemoryParams
+from repro.common.stats import StatSet
+from repro.memory.hierarchy import InstructionMemory
+
+
+def make_memory(**overrides):
+    params = MemoryParams(**overrides)
+    stats = StatSet()
+    return InstructionMemory(params, stats), stats
+
+
+class TestDemandPath:
+    def test_cold_miss_issues_fill(self):
+        mem, stats = make_memory()
+        result = mem.demand_probe(0x1000, cycle=0)
+        assert not result.hit and result.issued and result.primary
+        assert stats.get("l1i_miss") == 1
+        assert stats.get("l1i_tag_access") == 1
+
+    def test_miss_latency_includes_l2(self):
+        mem, _ = make_memory()
+        r = mem.demand_probe(0x1000, cycle=0)
+        # Cold line: L2 also misses -> DRAM latency.
+        assert r.ready_cycle >= mem.params.dram_latency
+
+    def test_l2_hit_after_eviction(self):
+        mem, stats = make_memory(l1i_kib=1, l1i_assoc=1, l2_kib=64)
+        mem.demand_probe(0x1000, 0)
+        mem.tick(10_000)  # fill completes; L2 now holds it too
+        # Evict from tiny L1 by filling the same set.
+        step = mem.l1i.n_sets * 64
+        mem.demand_probe(0x1000 + step, 0)
+        mem.tick(20_000)
+        r = mem.demand_probe(0x1000, 20_001)
+        assert not r.hit
+        # Refill should be an L2 hit now.
+        assert r.ready_cycle - 20_001 <= mem.params.l2_latency + mem.params.itlb_miss_latency
+
+    def test_hit_after_fill(self):
+        mem, stats = make_memory()
+        mem.demand_probe(0x1000, 0)
+        mem.tick(10_000)
+        r = mem.demand_probe(0x1000, 10_001)
+        assert r.hit
+        assert stats.get("l1i_hit") == 1
+
+    def test_hit_is_pipelined_next_cycle(self):
+        mem, _ = make_memory()
+        mem.demand_probe(0x1000, 0)
+        mem.tick(10_000)
+        mem.demand_probe(0x1000, 10_001)  # warm the TLB path
+        r = mem.demand_probe(0x1000, 10_002)
+        assert r.ready_cycle == 10_003
+
+    def test_secondary_miss_merges(self):
+        mem, stats = make_memory()
+        first = mem.demand_probe(0x1000, 0)
+        second = mem.demand_probe(0x1020, 1)  # same 64B line as 0x1000
+        assert not second.primary
+        assert second.ready_cycle == first.ready_cycle
+        assert stats.get("l1i_miss") == 1
+        assert stats.get("l1i_miss_secondary") == 1
+
+    def test_mshr_full_stalls(self):
+        mem, stats = make_memory(mshr_entries=1)
+        mem.demand_probe(0x1000, 0)
+        r = mem.demand_probe(0x2000, 0)
+        assert not r.hit and not r.issued
+        assert stats.get("mshr_stall") == 1
+
+
+class TestPerfectMode:
+    def test_always_hits_but_counts_traffic(self):
+        mem, stats = make_memory()
+        mem.perfect = True
+        r = mem.demand_probe(0x1000, 0)
+        assert r.hit
+        assert stats.get("memory_requests") == 1
+        assert stats.get("l1i_miss") == 1  # the miss event is still recorded
+        # And it is now resident for real.
+        assert mem.l1i.contains(0x1000)
+
+
+class TestPrefetchPath:
+    def test_prefetch_counts_tag_probe(self):
+        mem, stats = make_memory()
+        assert mem.prefetch_line(0x1000, 0)
+        assert stats.get("l1i_tag_access") == 1
+        assert stats.get("prefetch_issued") == 1
+
+    def test_redundant_prefetch(self):
+        mem, stats = make_memory()
+        mem.prefetch_line(0x1000, 0)
+        mem.tick(10_000)
+        assert not mem.prefetch_line(0x1000, 10_001)
+        assert stats.get("prefetch_redundant") == 1
+
+    def test_inflight_merge_not_reissued(self):
+        mem, stats = make_memory()
+        mem.prefetch_line(0x1000, 0)
+        assert not mem.prefetch_line(0x1000, 1)
+        assert stats.get("prefetch_inflight_merge") == 1
+
+    def test_useful_prefetch_accounting(self):
+        mem, stats = make_memory()
+        mem.prefetch_line(0x1000, 0)
+        mem.tick(10_000)
+        r = mem.demand_probe(0x1000, 10_001)
+        assert r.hit
+        assert stats.get("prefetch_useful") == 1
+
+    def test_late_prefetch_promotion(self):
+        mem, stats = make_memory()
+        mem.prefetch_line(0x1000, 0)
+        r = mem.demand_probe(0x1000, 1)
+        assert not r.hit and r.issued and r.primary
+        assert stats.get("prefetch_late") == 1
+        assert stats.get("l1i_miss") == 1
+
+    def test_useless_prefetch_on_eviction(self):
+        mem, stats = make_memory(l1i_kib=1, l1i_assoc=1)
+        mem.prefetch_line(0x1000, 0)
+        mem.tick(10_000)
+        step = mem.l1i.n_sets * 64
+        mem.demand_probe(0x1000 + step, 10_001)
+        mem.tick(20_000)  # fills and evicts the prefetched line
+        assert stats.get("prefetch_useless") == 1
+
+    def test_prefetch_mshr_reject(self):
+        mem, stats = make_memory(mshr_entries=1)
+        mem.demand_probe(0x1000, 0)
+        assert not mem.prefetch_line(0x2000, 0)
+        assert stats.get("prefetch_mshr_reject") == 1
+
+
+class TestTick:
+    def test_fill_installs_line(self):
+        mem, _ = make_memory()
+        mem.demand_probe(0x1000, 0, waiter="entry")
+        done = mem.tick(10_000)
+        assert len(done) == 1
+        assert done[0].waiters == ["entry"]
+        assert mem.l1i.contains(0x1000)
+
+    def test_flush_waiters(self):
+        mem, _ = make_memory()
+        mem.demand_probe(0x1000, 0, waiter="entry")
+        mem.flush_waiters()
+        done = mem.tick(10_000)
+        assert done[0].waiters == []
+        assert mem.l1i.contains(0x1000)  # the fill still lands
+
+    def test_set_stats_swaps_sink(self):
+        mem, old = make_memory()
+        new = StatSet()
+        mem.set_stats(new)
+        mem.demand_probe(0x1000, 0)
+        assert old.get("l1i_tag_access") == 0
+        assert new.get("l1i_tag_access") == 1

@@ -1,0 +1,129 @@
+"""Tests for branch history management (repro.branch.history)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.history import TARGET_SHIFT, HistoryManager
+from repro.common.bits import target_hash
+from repro.common.params import HistoryPolicy
+
+
+def thr(bits=64):
+    return HistoryManager(HistoryPolicy.THR, bits)
+
+
+def mgr(policy, bits=64):
+    return HistoryManager(policy, bits)
+
+
+class TestTargetHistory:
+    def test_push_taken_matches_paper_eq3(self):
+        m = thr()
+        h = m.push_taken(0, 0x4000, 0x5000)
+        assert h == target_hash(0x4000, 0x5000) & m.mask
+        h2 = m.push_taken(h, 0x6000, 0x7000)
+        assert h2 == ((h << TARGET_SHIFT) ^ target_hash(0x6000, 0x7000)) & m.mask
+
+    def test_not_taken_is_noop(self):
+        m = thr()
+        assert m.push_not_taken(0xABC) == 0xABC
+
+    def test_mask_applied(self):
+        m = thr(bits=8)
+        h = 0
+        for i in range(100):
+            h = m.push_taken(h, 0x4000 + 4 * i, 0x5000)
+        assert h < (1 << 8)
+
+    def test_distinct_targets_distinct_history(self):
+        m = thr()
+        assert m.push_taken(0, 0x4000, 0x5000) != m.push_taken(0, 0x4000, 0x6000)
+
+
+class TestDirectionHistory:
+    def test_push_bits(self):
+        m = mgr(HistoryPolicy.GHR0)
+        h = m.push_taken(0, 0x4000, 0x5000)
+        assert h == 1
+        h = m.push_not_taken(h)
+        assert h == 0b10
+
+    def test_push_outcome(self):
+        m = mgr(HistoryPolicy.GHR0)
+        assert m.push_outcome(0, 0x4000, True, 0x5000) == 1
+        assert m.push_outcome(0, 0x4000, False, 0x5000) == 0
+
+
+class TestCommitPushMatrix:
+    """commit_push must mirror the frontend's policy exactly (Table II/V)."""
+
+    def test_thr_taken_only(self):
+        m = thr()
+        h, fix = m.commit_push(0, 0x4000, True, 0x5000, detected=False)
+        assert h != 0 and not fix
+        h, fix = m.commit_push(0, 0x4000, False, 0x5000, detected=False)
+        assert h == 0 and not fix
+
+    def test_ideal_pushes_everything(self):
+        m = mgr(HistoryPolicy.IDEAL)
+        h, fix = m.commit_push(0, 0x4000, False, 0, detected=False)
+        assert h == 0 and not fix  # shifted-in 0 bit
+        h2, _ = m.commit_push(1, 0x4000, False, 0, detected=False)
+        assert h2 == 0b10
+
+    def test_detected_branches_push_their_bit(self):
+        for policy in (HistoryPolicy.GHR0, HistoryPolicy.GHR2):
+            m = mgr(policy)
+            h, fix = m.commit_push(0, 0x4000, False, 0, detected=True)
+            assert h == 0 and not fix  # 0<<1 | 0
+
+    def test_undetected_taken_always_fixed_by_flush(self):
+        for policy in (HistoryPolicy.GHR0, HistoryPolicy.GHR1, HistoryPolicy.GHR2, HistoryPolicy.GHR3):
+            m = mgr(policy)
+            h, fix = m.commit_push(0, 0x4000, True, 0x5000, detected=False)
+            assert h == 1 and not fix
+
+    def test_undetected_not_taken_lost_without_fixup(self):
+        m = mgr(HistoryPolicy.GHR0)
+        h, fix = m.commit_push(0b101, 0x4000, False, 0, detected=False)
+        assert h == 0b101 and not fix
+
+    def test_undetected_not_taken_fixed_with_flush_cost(self):
+        m = mgr(HistoryPolicy.GHR2)
+        h, fix = m.commit_push(0b101, 0x4000, False, 0, detected=False)
+        assert h == 0b1010 and fix
+
+
+class TestPolicyFlags:
+    def test_alloc_all(self):
+        assert mgr(HistoryPolicy.GHR1).allocates_all_branches
+        assert not mgr(HistoryPolicy.THR).allocates_all_branches
+
+    def test_fixes(self):
+        assert mgr(HistoryPolicy.GHR3).fixes_not_taken
+        assert not mgr(HistoryPolicy.GHR1).fixes_not_taken
+
+    def test_ideal_flag(self):
+        assert mgr(HistoryPolicy.IDEAL).is_ideal
+
+    def test_repr(self):
+        assert "THR" in repr(thr())
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            HistoryManager(HistoryPolicy.THR, 0)
+
+
+@given(
+    pushes=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=2**20)),
+        max_size=50,
+    )
+)
+def test_history_always_within_mask(pushes):
+    m = thr(bits=32)
+    h = 0
+    for taken, pc in pushes:
+        h = m.push_outcome(h, pc * 4, taken, pc * 4 + 64)
+        assert 0 <= h <= m.mask

@@ -1,0 +1,99 @@
+"""Property-based tests for history-policy coherence.
+
+The pipeline's correctness depends on one invariant: for a stream of
+branches that are all *detected*, the architectural history the commit
+stage reconstructs must equal the speculative history the frontend
+accumulated with correct predictions — that is what makes flush
+recovery exact. These tests check it for every policy over random
+branch streams.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.history import HistoryManager
+from repro.common.params import HistoryPolicy
+
+branch_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**20),  # pc / 4
+        st.booleans(),                              # taken
+        st.integers(min_value=0, max_value=2**20),  # target / 4
+    ),
+    max_size=60,
+)
+
+
+@given(branches=branch_stream)
+def test_spec_equals_commit_when_all_detected(branches):
+    for policy in HistoryPolicy:
+        mgr = HistoryManager(policy, 64)
+        spec = 0
+        arch = 0
+        for pc4, taken, tgt4 in branches:
+            pc, tgt = pc4 * 4, tgt4 * 4
+            if policy is HistoryPolicy.IDEAL:
+                spec = mgr.push_outcome(spec, pc, taken, tgt)
+            else:
+                spec = mgr.spec_push(spec, pc, taken, tgt)
+            arch, fix = mgr.commit_push(arch, pc, taken, tgt, detected=True)
+            assert not fix
+        assert spec == arch, policy
+
+
+@given(branches=branch_stream)
+def test_thr_ignores_detection_entirely(branches):
+    mgr = HistoryManager(HistoryPolicy.THR, 64)
+    h_detected = 0
+    h_undetected = 0
+    for pc4, taken, tgt4 in branches:
+        pc, tgt = pc4 * 4, tgt4 * 4
+        h_detected, _ = mgr.commit_push(h_detected, pc, taken, tgt, detected=True)
+        h_undetected, _ = mgr.commit_push(h_undetected, pc, taken, tgt, detected=False)
+    assert h_detected == h_undetected
+
+
+@given(branches=branch_stream)
+def test_ghr0_loses_only_undetected_not_taken(branches):
+    """GHR0's history equals the full direction history with undetected
+    not-taken branches deleted."""
+    mgr = HistoryManager(HistoryPolicy.GHR0, 256)
+    full = HistoryManager(HistoryPolicy.IDEAL, 256)
+    h = 0
+    reference_bits = []
+    for i, (pc4, taken, tgt4) in enumerate(branches):
+        detected = (i % 3) != 0  # every third branch undetected
+        pc, tgt = pc4 * 4, tgt4 * 4
+        h, _ = mgr.commit_push(h, pc, taken, tgt, detected)
+        if detected or taken:
+            reference_bits.append(1 if taken else 0)
+    expected = 0
+    for bit in reference_bits:
+        expected = ((expected << 1) | bit) & mgr.mask
+    assert h == expected
+
+
+@given(branches=branch_stream, bits=st.integers(min_value=1, max_value=16))
+def test_history_confined_to_mask(branches, bits):
+    for policy in HistoryPolicy:
+        mgr = HistoryManager(policy, bits)
+        h = 0
+        for pc4, taken, tgt4 in branches:
+            h, _ = mgr.commit_push(h, pc4 * 4, taken, tgt4 * 4, detected=True)
+            assert 0 <= h <= mgr.mask
+
+
+@given(
+    prefix=branch_stream,
+    pc4=st.integers(min_value=0, max_value=2**20),
+    tgt4=st.integers(min_value=0, max_value=2**20),
+)
+def test_taken_push_always_changes_low_bits_thr(prefix, pc4, tgt4):
+    """Pushing a taken branch shifts THR history by TARGET_SHIFT bits."""
+    mgr = HistoryManager(HistoryPolicy.THR, 64)
+    h = 0
+    for p, t, g in prefix:
+        h = mgr.push_outcome(h, p * 4, t, g * 4)
+    pushed = mgr.push_taken(h, pc4 * 4, tgt4 * 4)
+    # Re-pushing with the same inputs is deterministic.
+    assert pushed == mgr.push_taken(h, pc4 * 4, tgt4 * 4)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.isa.instructions."""
+
+import pytest
+
+from repro.isa.instructions import BranchKind, Instruction, is_branch_kind
+
+
+class TestBranchKind:
+    def test_none_is_not_branch(self):
+        assert not BranchKind.NONE.is_branch
+        assert not is_branch_kind(BranchKind.NONE)
+
+    def test_all_others_are_branches(self):
+        for kind in BranchKind:
+            if kind is not BranchKind.NONE:
+                assert kind.is_branch
+
+    def test_conditional(self):
+        assert BranchKind.COND_DIRECT.is_conditional
+        assert not BranchKind.UNCOND_DIRECT.is_conditional
+
+    def test_unconditional_set(self):
+        unconds = {k for k in BranchKind if k.is_unconditional}
+        assert unconds == {
+            BranchKind.UNCOND_DIRECT,
+            BranchKind.CALL_DIRECT,
+            BranchKind.RETURN,
+            BranchKind.INDIRECT,
+            BranchKind.INDIRECT_CALL,
+        }
+
+    def test_calls(self):
+        assert BranchKind.CALL_DIRECT.is_call
+        assert BranchKind.INDIRECT_CALL.is_call
+        assert not BranchKind.RETURN.is_call
+
+    def test_indirect(self):
+        assert BranchKind.INDIRECT.is_indirect
+        assert BranchKind.INDIRECT_CALL.is_indirect
+        assert not BranchKind.RETURN.is_indirect
+
+    def test_pc_relative(self):
+        rel = {k for k in BranchKind if k.is_pc_relative}
+        assert rel == {BranchKind.COND_DIRECT, BranchKind.UNCOND_DIRECT, BranchKind.CALL_DIRECT}
+
+    def test_pfc_eligibility(self):
+        # PFC covers PC-relative branches and returns (Section III-B).
+        eligible = {k for k in BranchKind if k.pfc_eligible}
+        assert eligible == {
+            BranchKind.COND_DIRECT,
+            BranchKind.UNCOND_DIRECT,
+            BranchKind.CALL_DIRECT,
+            BranchKind.RETURN,
+        }
+
+
+class TestInstruction:
+    def test_requires_alignment(self):
+        with pytest.raises(ValueError):
+            Instruction(addr=0x1002)
+
+    def test_target_alignment_for_direct(self):
+        with pytest.raises(ValueError):
+            Instruction(addr=0x1000, kind=BranchKind.UNCOND_DIRECT, target=0x2002)
+
+    def test_fall_through(self):
+        assert Instruction(addr=0x1000).fall_through == 0x1004
+
+    def test_decode_target_direct(self):
+        instr = Instruction(addr=0x1000, kind=BranchKind.CALL_DIRECT, target=0x4000)
+        assert instr.decode_target() == 0x4000
+
+    def test_decode_target_return_uses_ras(self):
+        instr = Instruction(addr=0x1000, kind=BranchKind.RETURN)
+        assert instr.decode_target(ras_top=0x2000) == 0x2000
+        assert instr.decode_target(ras_top=None) is None
+
+    def test_decode_target_indirect_unknown(self):
+        instr = Instruction(addr=0x1000, kind=BranchKind.INDIRECT)
+        assert instr.decode_target(ras_top=0x2000) is None
+
+    def test_is_branch(self):
+        assert Instruction(addr=0, kind=BranchKind.RETURN).is_branch
+        assert not Instruction(addr=0).is_branch

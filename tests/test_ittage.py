@@ -1,0 +1,72 @@
+"""Tests for the ITTAGE indirect predictor (repro.branch.ittage)."""
+
+import pytest
+
+from repro.branch.history import HistoryManager
+from repro.branch.ittage import ITTAGE
+from repro.common.params import HistoryPolicy
+
+
+class TestBasics:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            ITTAGE(n_entries=1000)
+
+    def test_unknown_pc_predicts_none(self):
+        assert ITTAGE().predict(0x4000, 0) is None
+
+    def test_base_table_learns_last_target(self):
+        it = ITTAGE()
+        it.update(0x4000, 0, 0x8000)
+        assert it.predict(0x4000, 0) == 0x8000
+
+    def test_base_table_tracks_change(self):
+        it = ITTAGE()
+        it.update(0x4000, 0, 0x8000)
+        it.update(0x4000, 0, 0x9000)
+        # Base table reflects the most recent target.
+        assert it._base[0x4000] == 0x9000
+
+    def test_storage_bits_positive(self):
+        assert ITTAGE().storage_bits() > 0
+
+
+class TestHistoryCorrelation:
+    def test_learns_round_robin_with_history(self):
+        """A round-robin indirect branch is predictable once the target
+        sequence is reflected in the (taken-target) history."""
+        it = ITTAGE(2048)
+        mgr = HistoryManager(HistoryPolicy.THR, 260)
+        pc = 0x4000
+        targets = [0x8000, 0x9000, 0xA000]
+        hist = 0
+        correct = total = 0
+        for i in range(3000):
+            target = targets[i % 3]
+            pred = it.predict(pc, hist)
+            it.update(pc, hist, target)
+            if i > 600:
+                total += 1
+                correct += pred == target
+            hist = mgr.push_taken(hist, pc, target)
+        assert correct / total > 0.95
+
+    def test_conflicting_contexts_separate(self):
+        it = ITTAGE(2048)
+        h1, h2 = 0xAAAA, 0x5555
+        for _ in range(10):
+            it.update(0x4000, h1, 0x8000)
+            it.update(0x4000, h2, 0x9000)
+        assert it.predict(0x4000, h1) == 0x8000
+        assert it.predict(0x4000, h2) == 0x9000
+
+    def test_update_counts(self):
+        it = ITTAGE()
+        it.update(0x4000, 0, 0x8000)
+        assert it.updates == 1
+
+    def test_base_capacity_bounded(self):
+        it = ITTAGE(512)
+        for i in range(1000):
+            it.update(0x4000 + 4 * i, 0, 0x8000)
+        assert len(it._base) <= it._base_capacity

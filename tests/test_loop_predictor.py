@@ -1,0 +1,90 @@
+"""Tests for the loop predictor (repro.branch.loop)."""
+
+import pytest
+
+from repro.branch.loop import CONFIDENT, LoopPredictor
+
+
+def train_loop(lp: LoopPredictor, pc: int, trip: int, repetitions: int) -> None:
+    for _ in range(repetitions):
+        for _ in range(trip - 1):
+            lp.train(pc, True)
+        lp.train(pc, False)
+
+
+class TestTraining:
+    def test_confidence_builds_on_stable_trip(self):
+        lp = LoopPredictor(16)
+        train_loop(lp, 0x100, trip=5, repetitions=CONFIDENT + 1)
+        assert lp.confident(0x100)
+
+    def test_unstable_trip_never_confident(self):
+        lp = LoopPredictor(16)
+        for trip in (4, 7, 5, 9, 6, 8):
+            train_loop(lp, 0x100, trip=trip, repetitions=1)
+        assert not lp.confident(0x100)
+
+    def test_never_taken_branch_not_tracked(self):
+        lp = LoopPredictor(16)
+        for _ in range(10):
+            lp.train(0x100, False)
+        assert len(lp) == 0
+
+    def test_runaway_loop_resets(self):
+        lp = LoopPredictor(16)
+        for _ in range(1 << 14):
+            lp.train(0x100, True)
+        assert not lp.confident(0x100)
+
+    def test_capacity_bounded(self):
+        lp = LoopPredictor(4)
+        for i in range(16):
+            train_loop(lp, 0x100 + 4 * i, trip=3, repetitions=1)
+        assert len(lp) <= 4
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(0)
+
+
+class TestPrediction:
+    def test_defers_until_confident(self):
+        lp = LoopPredictor(16)
+        train_loop(lp, 0x100, trip=5, repetitions=1)
+        assert lp.predict(0x100) is None
+
+    def test_predicts_exact_exit(self):
+        lp = LoopPredictor(16)
+        train_loop(lp, 0x100, trip=4, repetitions=CONFIDENT + 1)
+        lp.flush_spec()
+        assert [lp.predict(0x100) for _ in range(4)] == [True, True, True, False]
+        # And the next loop instance again.
+        assert [lp.predict(0x100) for _ in range(4)] == [True, True, True, False]
+
+    def test_unknown_pc_defers(self):
+        assert LoopPredictor(16).predict(0x999) is None
+
+    def test_flush_resyncs_speculative_count(self):
+        lp = LoopPredictor(16)
+        train_loop(lp, 0x100, trip=6, repetitions=CONFIDENT + 1)
+        lp.flush_spec()
+        lp.predict(0x100)
+        lp.predict(0x100)  # speculated 2 iterations
+        lp.flush_spec()    # none of them committed
+        preds = [lp.predict(0x100) for _ in range(6)]
+        assert preds == [True] * 5 + [False]
+
+    def test_storage_bits(self):
+        assert LoopPredictor(256).storage_bits() == 256 * 60
+
+
+class TestSimulatorIntegration:
+    def test_loop_predictor_runs_end_to_end(self):
+        from repro.common.params import SimParams
+        from repro.core.simulator import simulate
+
+        p = SimParams(warmup_instructions=2_000, sim_instructions=6_000).with_branch(
+            loop_predictor_entries=256
+        )
+        r = simulate("spc_fp", p)
+        assert r.instructions > 0

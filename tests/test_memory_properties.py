@@ -1,0 +1,89 @@
+"""Property-based tests for the memory substrate against reference models."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import MemoryParams
+from repro.common.stats import StatSet
+from repro.memory.hierarchy import InstructionMemory
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+
+addr_stream = st.lists(st.integers(min_value=0, max_value=1 << 15), min_size=1, max_size=150)
+
+
+@settings(max_examples=25, deadline=None)
+@given(addrs=addr_stream)
+def test_tlb_matches_reference_lru(addrs):
+    tlb = TLB(4, 4096, miss_latency=9)
+    reference: OrderedDict[int, None] = OrderedDict()
+    for addr in addrs:
+        page = addr & ~4095
+        expect_hit = page in reference
+        latency = tlb.translate(addr)
+        assert (latency == 0) == expect_hit
+        if expect_hit:
+            reference.move_to_end(page)
+        else:
+            if len(reference) >= 4:
+                reference.popitem(last=False)
+            reference[page] = None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=60)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_mshr_occupancy_never_exceeds_capacity(ops):
+    mshr = MSHRFile(4)
+    cycle = 0
+    for kind, line_idx in ops:
+        line = line_idx * 64
+        cycle += 1
+        if kind == 0:
+            mshr.pop_ready(cycle)
+        else:
+            mshr.allocate(line, cycle, cycle + kind * 3, is_prefetch=kind % 2 == 0)
+        assert len(mshr) <= 4
+        # Lines are unique keys.
+        lines = [e.line for e in mshr._by_line.values()]
+        assert len(lines) == len(set(lines))
+
+
+@settings(max_examples=15, deadline=None)
+@given(addrs=addr_stream)
+def test_hierarchy_probe_fill_consistency(addrs):
+    """After any demand sequence with periodic ticks: every completed
+    demand line is L1-resident unless evicted; hit/miss counters add up."""
+    stats = StatSet()
+    mem = InstructionMemory(MemoryParams(l1i_kib=1, l1i_assoc=2, mshr_entries=4), stats)
+    cycle = 0
+    for addr in addrs:
+        cycle += 3
+        mem.demand_probe(addr, cycle)
+        if cycle % 5 == 0:
+            mem.tick(cycle + 10_000)
+    mem.tick(cycle + 100_000)
+    probes = stats.get("l1i_hit") + stats.get("l1i_tag_miss")
+    assert probes == len(addrs)
+    assert stats.get("l1i_miss") + stats.get("l1i_miss_secondary") <= stats.get("l1i_tag_miss")
+    # Occupancy can never exceed capacity.
+    assert mem.l1i.occupancy <= mem.l1i.n_sets * mem.l1i.assoc
+
+
+@settings(max_examples=15, deadline=None)
+@given(addrs=addr_stream)
+def test_perfect_mode_always_hits(addrs):
+    stats = StatSet()
+    mem = InstructionMemory(MemoryParams(), stats)
+    mem.perfect = True
+    for i, addr in enumerate(addrs):
+        result = mem.demand_probe(addr, i)
+        assert result.hit
+    assert stats.get("mshr_stall") == 0

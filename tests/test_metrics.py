@@ -1,0 +1,87 @@
+"""Tests for metrics and hardware-cost accounting (repro.core.metrics)."""
+
+import pytest
+
+from repro.common.params import SimParams
+from repro.common.stats import StatSet
+from repro.core.metrics import (
+    RunResult,
+    ftq_entry_bits,
+    ftq_storage_bits,
+    ftq_storage_bytes,
+)
+
+
+class TestFTQStorage:
+    def test_paper_total_195_bytes(self):
+        """Table III: a 24-entry FTQ costs 195 bytes."""
+        assert ftq_storage_bytes(24) == 195
+
+    def test_pfc_hint_increment_24_bytes(self):
+        """Table III: the PFC direction hints add only 24 bytes."""
+        assert ftq_storage_bytes(24) - ftq_storage_bytes(24, with_pfc_hints=False) == 24
+
+    def test_entry_bits(self):
+        assert ftq_entry_bits() == 48 + 1 + 3 + 3 + 2 + 8
+        assert ftq_entry_bits(with_pfc_hints=False) == 57
+
+    def test_scales_linearly(self):
+        assert ftq_storage_bits(48) == 2 * ftq_storage_bits(24)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ftq_storage_bits(0)
+
+
+def make_result(**stat_values):
+    stats = StatSet()
+    for k, v in stat_values.items():
+        stats.set(k, v)
+    return RunResult(
+        workload="w",
+        label="l",
+        params=SimParams(),
+        instructions=10_000,
+        cycles=5_000,
+        stats=stats,
+    )
+
+
+class TestRunResult:
+    def test_ipc(self):
+        assert make_result().ipc == 2.0
+
+    def test_zero_cycles(self):
+        r = make_result()
+        r.cycles = 0
+        assert r.ipc == 0.0
+
+    def test_branch_mpki(self):
+        r = make_result(branch_mispredictions=50)
+        assert r.branch_mpki == 5.0
+
+    def test_l1i_mpki(self):
+        assert make_result(l1i_miss=20).l1i_mpki == 2.0
+
+    def test_starvation(self):
+        assert make_result(starvation_cycles=100).starvation_per_kilo == 10.0
+
+    def test_tag_accesses(self):
+        assert make_result(l1i_tag_access=30_000).tag_accesses_per_kilo == 3_000.0
+
+    def test_miss_exposure(self):
+        r = make_result(miss_covered=5, miss_partially_exposed=3, miss_fully_exposed=2)
+        assert r.miss_exposure() == {
+            "covered": 5,
+            "partially_exposed": 3,
+            "fully_exposed": 2,
+        }
+        assert r.exposed_fraction() == pytest.approx(0.5)
+
+    def test_exposed_fraction_empty(self):
+        assert make_result().exposed_fraction() == 0.0
+
+    def test_summary_contains_key_numbers(self):
+        text = make_result(branch_mispredictions=50).summary()
+        assert "IPC= 2.00" in text
+        assert "brMPKI=" in text

@@ -1,0 +1,90 @@
+"""Tests for the MSHR file (repro.memory.mshr)."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocate:
+    def test_basic_allocation(self):
+        m = MSHRFile(2)
+        entry = m.allocate(0x1000, issue_cycle=1, ready_cycle=10, is_prefetch=False)
+        assert entry is not None
+        assert len(m) == 1
+        assert m.allocations == 1
+
+    def test_merge_same_line(self):
+        m = MSHRFile(2)
+        first = m.allocate(0x1000, 1, 10, False)
+        second = m.allocate(0x1000, 2, 99, False, waiter="w")
+        assert second is first
+        assert len(m) == 1
+        assert m.merges == 1
+        assert second.ready_cycle == 10  # original timing preserved
+        assert "w" in second.waiters
+
+    def test_demand_merge_promotes_prefetch(self):
+        m = MSHRFile(2)
+        m.allocate(0x1000, 1, 10, is_prefetch=True)
+        entry = m.allocate(0x1000, 2, 10, is_prefetch=False)
+        assert not entry.is_prefetch
+
+    def test_prefetch_merge_does_not_demote(self):
+        m = MSHRFile(2)
+        m.allocate(0x1000, 1, 10, is_prefetch=False)
+        entry = m.allocate(0x1000, 2, 10, is_prefetch=True)
+        assert not entry.is_prefetch
+
+    def test_full_rejection(self):
+        m = MSHRFile(1)
+        m.allocate(0x1000, 1, 10, False)
+        assert m.full
+        assert m.allocate(0x2000, 1, 10, False) is None
+        assert m.rejections == 1
+
+    def test_full_still_merges(self):
+        m = MSHRFile(1)
+        m.allocate(0x1000, 1, 10, False)
+        assert m.allocate(0x1000, 2, 10, False) is not None
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestPopReady:
+    def test_pops_due_entries_in_order(self):
+        m = MSHRFile(4)
+        m.allocate(0xA000, 0, 20, False)
+        m.allocate(0xB000, 0, 10, False)
+        m.allocate(0xC000, 0, 30, False)
+        ready = m.pop_ready(25)
+        assert [e.line for e in ready] == [0xB000, 0xA000]
+        assert len(m) == 1
+
+    def test_nothing_due(self):
+        m = MSHRFile(2)
+        m.allocate(0xA000, 0, 20, False)
+        assert m.pop_ready(5) == []
+
+    def test_lookup(self):
+        m = MSHRFile(2)
+        m.allocate(0xA000, 0, 20, False)
+        assert m.lookup(0xA000) is not None
+        assert m.lookup(0xB000) is None
+
+
+class TestFlush:
+    def test_flush_waiters_keeps_fills(self):
+        m = MSHRFile(2)
+        m.allocate(0xA000, 0, 20, False, waiter="x")
+        m.flush_waiters()
+        entry = m.lookup(0xA000)
+        assert entry is not None and entry.waiters == []
+
+    def test_reset_stats(self):
+        m = MSHRFile(2)
+        m.allocate(0xA000, 0, 20, False)
+        m.allocate(0xA000, 0, 20, False)
+        m.reset_stats()
+        assert m.allocations == 0 and m.merges == 0

@@ -1,0 +1,136 @@
+"""Unit tests for repro.common.params."""
+
+import pytest
+
+from repro.common.params import (
+    BranchPredictorParams,
+    CoreParams,
+    DirectionPredictorKind,
+    FrontendParams,
+    HistoryPolicy,
+    MemoryParams,
+    SimParams,
+)
+
+
+class TestHistoryPolicy:
+    def test_thr_is_target_history(self):
+        assert HistoryPolicy.THR.uses_target_history
+        assert not HistoryPolicy.GHR0.uses_target_history
+
+    def test_allocation_policies(self):
+        assert not HistoryPolicy.THR.allocates_all_branches
+        assert not HistoryPolicy.GHR0.allocates_all_branches
+        assert HistoryPolicy.GHR1.allocates_all_branches
+        assert not HistoryPolicy.GHR2.allocates_all_branches
+        assert HistoryPolicy.GHR3.allocates_all_branches
+
+    def test_fixup_policies(self):
+        fixers = {p for p in HistoryPolicy if p.fixes_not_taken_history}
+        assert fixers == {HistoryPolicy.GHR2, HistoryPolicy.GHR3}
+
+
+class TestBranchPredictorParams:
+    def test_defaults_valid(self):
+        p = BranchPredictorParams()
+        assert p.btb_entries % p.btb_assoc == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_entries=100, btb_assoc=3)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_latency=0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_entries=-4)
+
+
+class TestFrontendParams:
+    def test_fdp_enabled_by_depth(self):
+        assert FrontendParams(ftq_entries=24).fdp_enabled
+        assert not FrontendParams(ftq_entries=2).fdp_enabled
+
+    def test_instrs_per_block(self):
+        assert FrontendParams(block_bytes=32).instrs_per_block == 8
+        assert FrontendParams(block_bytes=16).instrs_per_block == 4
+
+    def test_rejects_tiny_ftq(self):
+        with pytest.raises(ValueError):
+            FrontendParams(ftq_entries=1)
+
+    def test_rejects_odd_block(self):
+        with pytest.raises(ValueError):
+            FrontendParams(block_bytes=24)
+
+    def test_rejects_small_decode_queue(self):
+        with pytest.raises(ValueError):
+            FrontendParams(fetch_width=6, decode_queue_size=4)
+
+
+class TestMemoryParams:
+    def test_line_counts(self):
+        m = MemoryParams(l1i_kib=32, line_bytes=64)
+        assert m.l1i_lines == 512
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            MemoryParams(line_bytes=48)
+
+
+class TestCoreParams:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            CoreParams(retire_width=0)
+
+    def test_rejects_zero_penalty(self):
+        with pytest.raises(ValueError):
+            CoreParams(mispredict_penalty=0)
+
+
+class TestSimParams:
+    def test_hashable_for_caching(self):
+        a = SimParams()
+        b = SimParams()
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_with_helpers_do_not_mutate(self):
+        base = SimParams()
+        derived = base.with_branch(btb_entries=1024)
+        assert base.branch.btb_entries == 8192
+        assert derived.branch.btb_entries == 1024
+
+    def test_with_frontend(self):
+        p = SimParams().with_frontend(ftq_entries=4)
+        assert p.frontend.ftq_entries == 4
+
+    def test_with_memory(self):
+        p = SimParams().with_memory(l1i_kib=64)
+        assert p.memory.l1i_kib == 64
+
+    def test_with_core(self):
+        p = SimParams().with_core(mispredict_penalty=20)
+        assert p.core.mispredict_penalty == 20
+
+    def test_replace_prefetcher(self):
+        p = SimParams().replace(prefetcher="nl1")
+        assert p.prefetcher == "nl1"
+
+    def test_label_contains_key_facts(self):
+        p = SimParams()
+        label = p.label()
+        assert "fdp" in label and "THR" in label and "btb8k" in label
+        assert "nofdp" in p.with_frontend(ftq_entries=2).label()
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            SimParams(sim_instructions=0)
+        with pytest.raises(ValueError):
+            SimParams(warmup_instructions=-1)
+
+    def test_direction_kind_enum(self):
+        p = SimParams().with_branch(direction_kind=DirectionPredictorKind.GSHARE)
+        assert p.branch.direction_kind is DirectionPredictorKind.GSHARE

@@ -1,0 +1,78 @@
+"""Tests for the perceptron direction predictor (repro.branch.perceptron)."""
+
+import pytest
+
+from repro.branch.perceptron import Perceptron
+
+
+class TestConstruction:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            Perceptron(storage_kib=0)
+        with pytest.raises(ValueError):
+            Perceptron(history_bits=0)
+
+    def test_threshold_formula(self):
+        p = Perceptron(history_bits=31)
+        assert p.threshold == int(1.93 * 31 + 14)
+
+    def test_storage_bits(self):
+        p = Perceptron(storage_kib=8, history_bits=31)
+        assert p.storage_bits() == p.n_rows * 32 * 8
+
+
+class TestLearning:
+    def test_learns_bias(self):
+        p = Perceptron()
+        for _ in range(10):
+            p.update(0x4000, 0, True)
+        assert p.predict(0x4000, 0) is True
+        for _ in range(30):
+            p.update(0x4000, 0, False)
+        assert p.predict(0x4000, 0) is False
+
+    def test_learns_single_history_correlation(self):
+        """Outcome equals history bit 3: linearly separable."""
+        p = Perceptron()
+        for i in range(400):
+            hist = i & 0xFF
+            taken = bool((hist >> 3) & 1)
+            p.update(0x4000, hist, taken)
+        correct = 0
+        for hist in range(256):
+            if p.predict(0x4000, hist) == bool((hist >> 3) & 1):
+                correct += 1
+        assert correct / 256 > 0.95
+
+    def test_stops_training_beyond_threshold(self):
+        p = Perceptron(history_bits=4)
+        for _ in range(1000):
+            p.update(0x4000, 0, True)
+        # Bias saturates well below the hard clamp because training
+        # stops once |output| > theta.
+        assert p._row(0x4000)[0] <= p.threshold + 1
+
+    def test_weights_clamped(self):
+        p = Perceptron(history_bits=2)
+        p.threshold = 10**9  # force continuous training
+        for _ in range(1000):
+            p.update(0x4000, 0b11, True)
+        assert all(-128 <= w <= 127 for w in p._row(0x4000))
+
+    def test_counters(self):
+        p = Perceptron()
+        p.predict(0, 0)
+        p.update(0, 0, True)
+        assert p.predictions == 1 and p.updates == 1
+
+
+class TestSimulatorIntegration:
+    def test_perceptron_runs_end_to_end(self):
+        from repro.common.params import DirectionPredictorKind, SimParams
+        from repro.core.simulator import simulate
+
+        p = SimParams(warmup_instructions=1_500, sim_instructions=4_000).with_branch(
+            direction_kind=DirectionPredictorKind.PERCEPTRON
+        )
+        r = simulate("spc_fp", p)
+        assert r.instructions > 0

@@ -1,0 +1,88 @@
+"""Tests for L2 pre-warming and BTB allocation-policy effects."""
+
+import pytest
+
+from repro.common.params import HistoryPolicy, SimParams
+from repro.core.simulator import Simulator
+from repro.trace.cfg import generate_program
+from repro.trace.oracle import run_oracle
+from tests.conftest import tiny_spec
+
+
+@pytest.fixture(scope="module")
+def trace():
+    program = generate_program(tiny_spec(n_functions=30, functions_per_phase=10), seed=77)
+    stream = run_oracle(program, 9_000, seed=78)
+    return program, stream
+
+
+def fast():
+    return SimParams(warmup_instructions=1_500, sim_instructions=5_000)
+
+
+class TestL2Prewarm:
+    def test_code_image_resident_in_l2_at_init(self, trace):
+        program, stream = trace
+        sim = Simulator(fast(), program, stream)
+        line = program.code_start
+        while line < program.code_end:
+            assert sim.memory.l2.contains(line)
+            line += sim.params.memory.line_bytes
+
+    def test_no_dram_fills_for_code(self, trace):
+        """With the image L2-resident, demand fills are L2 hits."""
+        program, stream = trace
+        sim = Simulator(fast(), program, stream)
+        result = sim.run("t")
+        # Wrong-path fetches can stray past code_end into unmapped
+        # space; those may go to DRAM, but correct-path code must not.
+        assert result.stats.get("l2_hit") >= result.stats.get("l2_miss")
+
+    def test_prewarm_respects_line_size(self, trace):
+        program, stream = trace
+        sim = Simulator(fast().with_memory(line_bytes=128), program, stream)
+        assert sim.memory.l2.contains(program.code_start)
+
+
+class TestAllocationPolicies:
+    def test_alloc_all_fills_btb_with_more_branches(self, trace):
+        program, stream = trace
+        taken_only = Simulator(
+            fast().with_frontend(history_policy=HistoryPolicy.GHR0), program, stream
+        )
+        taken_only.run("a")
+        alloc_all = Simulator(
+            fast().with_frontend(history_policy=HistoryPolicy.GHR1), program, stream
+        )
+        alloc_all.run("b")
+        assert alloc_all.btb.occupancy >= taken_only.btb.occupancy
+
+    def test_thr_btb_holds_taken_branches_only(self, trace):
+        program, stream = trace
+        sim = Simulator(fast(), program, stream)
+        sim.run("t")
+        # Collect branches that were ever taken in the committed stream.
+        ever_taken = set()
+        for seg in stream.segments:
+            for addr, _, taken, _ in seg.branches:
+                if taken:
+                    ever_taken.add(addr)
+        resident = set()
+        for ways in sim.btb._sets:
+            resident.update(e.addr for e in ways)
+        assert resident <= ever_taken
+
+
+class TestFixupPolicyCosts:
+    def test_ghr2_pays_fixup_flushes(self, trace):
+        program, stream = trace
+        sim = Simulator(
+            fast().with_frontend(history_policy=HistoryPolicy.GHR2), program, stream
+        )
+        r = sim.run("t")
+        assert r.stats.get("ghr_fixup_flush") > 0
+
+    def test_thr_never_needs_fixups(self, trace):
+        program, stream = trace
+        r = Simulator(fast(), program, stream).run("t")
+        assert r.stats.get("ghr_fixup_flush") == 0

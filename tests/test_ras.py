@@ -1,0 +1,64 @@
+"""Tests for the return address stack (repro.branch.ras)."""
+
+import pytest
+
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x1000)
+        ras.push(0x2000)
+        assert ras.pop() == 0x2000
+        assert ras.pop() == 0x1000
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(8)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_top_peeks(self):
+        ras = ReturnAddressStack(4)
+        assert ras.top() is None
+        ras.push(0x1000)
+        assert ras.top() == 0x1000
+        assert len(ras) == 1
+
+    def test_copy_from(self):
+        a = ReturnAddressStack(4)
+        b = ReturnAddressStack(4)
+        a.push(1)
+        a.push(2)
+        b.copy_from(a)
+        assert b.pop() == 2
+        # Copies are independent.
+        assert a.top() == 2
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snap = ras.snapshot()
+        ras.push(2)
+        ras.restore(snap)
+        assert ras.top() == 1 and len(ras) == 1
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_counters(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.pop()
+        assert ras.pushes == 1 and ras.pops == 1

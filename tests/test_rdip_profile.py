@@ -1,0 +1,115 @@
+"""Tests for RDIP and profile-guided software prefetching."""
+
+import pytest
+
+from repro.common.params import SimParams
+from repro.core.simulator import Simulator, simulate
+from repro.isa.instructions import BranchKind
+from repro.prefetch.profile_guided import ProfileGuidedPrefetcher, build_profile
+from repro.prefetch.rdip import RDIPPrefetcher
+from repro.trace.cfg import generate_program
+from repro.trace.oracle import run_oracle
+from tests.conftest import make_stream, seg, tiny_spec
+from tests.test_prefetchers import build
+
+
+class TestRDIP:
+    def test_signature_tracks_call_stack(self):
+        pf, *_ = build(RDIPPrefetcher)
+        sig0 = pf.signature
+        pf.on_commit_branch(0x4000, BranchKind.CALL_DIRECT, True, 0x8000)
+        sig1 = pf.signature
+        assert sig1 != sig0
+        pf.on_commit_branch(0x8004, BranchKind.RETURN, True, 0x4004)
+        assert pf.signature == sig0  # back to the original context
+
+    def test_misses_recorded_per_context_and_replayed(self):
+        pf, *_ = build(RDIPPrefetcher)
+        pf.on_commit_branch(0x4000, BranchKind.CALL_DIRECT, True, 0x8000)
+        pf.on_access(0xA000, hit=False, cycle=0)
+        # Leave and re-enter the same context.
+        pf.on_commit_branch(0x8004, BranchKind.RETURN, True, 0x4004)
+        pf._queue.clear()
+        pf._queued.clear()
+        pf.on_commit_branch(0x4000, BranchKind.CALL_DIRECT, True, 0x8000)
+        assert 0xA000 in pf._queue
+
+    def test_not_taken_branches_ignored(self):
+        pf, *_ = build(RDIPPrefetcher)
+        sig0 = pf.signature
+        pf.on_commit_branch(0x4000, BranchKind.COND_DIRECT, False, 0)
+        assert pf.signature == sig0
+
+    def test_table_bounded(self):
+        pf, *_ = build(RDIPPrefetcher, table_entries=4)
+        for i in range(20):
+            pf.on_commit_branch(0x4000 + 16 * i, BranchKind.CALL_DIRECT, True, 0x8000)
+            pf.on_access(0xA000 + 64 * i, hit=False, cycle=i)
+        assert len(pf._table) <= 4
+
+    def test_runs_end_to_end(self):
+        p = SimParams(warmup_instructions=1_500, sim_instructions=4_000).replace(
+            prefetcher="rdip"
+        )
+        assert simulate("spc_fp", p).instructions > 0
+
+
+class TestBuildProfile:
+    def test_attributes_misses_to_earlier_branch(self):
+        # One jump at 0x1008, then a long run: the run's misses should be
+        # attributed to that branch once 'distance' instructions passed.
+        stream = make_stream(
+            [
+                seg(0x1000, 3, 0x8000, [(0x1008, BranchKind.UNCOND_DIRECT, True, 0x8000)]),
+                seg(0x8000, 600),
+            ]
+        )
+        profile = build_profile(stream, training_instructions=600, distance=10, l1i_lines=4, assoc=1)
+        assert 0x1008 in profile
+        assert profile[0x1008]
+
+    def test_respects_training_window(self):
+        stream = make_stream([seg(0x1000, 5_000)])
+        profile = build_profile(stream, training_instructions=100)
+        # No branches at all -> no triggers.
+        assert profile == {}
+
+    def test_lines_per_trigger_bounded(self):
+        stream = make_stream(
+            [
+                seg(0x1000, 3, 0x8000, [(0x1008, BranchKind.UNCOND_DIRECT, True, 0x8000)]),
+                seg(0x8000, 4_000),
+            ]
+        )
+        profile = build_profile(stream, training_instructions=4_000, l1i_lines=4, assoc=1)
+        assert all(len(lines) <= 8 for lines in profile.values())
+
+
+class TestProfileGuided:
+    def test_trigger_fires_prefetches(self):
+        pf, *_ = build(ProfileGuidedPrefetcher)
+        pf.profile = {0x4000: [0xA000, 0xB000]}
+        pf.on_commit_branch(0x4000, BranchKind.COND_DIRECT, True, 0x5000)
+        assert pf.triggers_fired == 1
+        assert 0xA000 in pf._queue and 0xB000 in pf._queue
+
+    def test_non_trigger_does_nothing(self):
+        pf, *_ = build(ProfileGuidedPrefetcher)
+        pf.profile = {0x4000: [0xA000]}
+        pf.on_commit_branch(0x9999 & ~3, BranchKind.COND_DIRECT, True, 0)
+        assert pf.pending == 0
+
+    def test_simulator_builds_profile_from_warmup(self):
+        program = generate_program(tiny_spec(), seed=61)
+        stream = run_oracle(program, 8_000, seed=62)
+        params = SimParams(warmup_instructions=2_000, sim_instructions=4_000).replace(
+            prefetcher="profile_guided"
+        )
+        sim = Simulator(params, program, stream)
+        assert isinstance(sim.prefetcher, ProfileGuidedPrefetcher)
+        result = sim.run("t")
+        assert result.instructions > 0
+
+    def test_zero_storage_cost(self):
+        pf, *_ = build(ProfileGuidedPrefetcher)
+        assert pf.storage_bits() == 0

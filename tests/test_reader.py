@@ -1,0 +1,62 @@
+"""Tests for trace (de)serialisation (repro.trace.reader)."""
+
+import json
+
+import pytest
+
+from repro.trace.cfg import generate_program
+from repro.trace.oracle import run_oracle
+from repro.trace.reader import load_trace, save_trace
+from tests.conftest import tiny_spec
+
+
+class TestSpecFormat:
+    def test_roundtrip_regenerates_identical_stream(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "trace.json"
+        save_trace(path, spec, program_seed=7, oracle_seed=11, n_instructions=2_000)
+        program, stream = load_trace(path)
+
+        expected_program = generate_program(spec, 7)
+        expected = run_oracle(expected_program, 2_000, 11)
+        assert stream.total_instructions == expected.total_instructions
+        assert [(s.start, s.n_instrs) for s in stream.segments] == [
+            (s.start, s.n_instrs) for s in expected.segments
+        ]
+        assert set(program.branches) == set(expected_program.branches)
+
+    def test_file_is_small(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(path, tiny_spec(), 7, 11, 1_000_000)
+        assert path.stat().st_size < 4_096
+
+
+class TestSegmentDump:
+    def test_roundtrip_with_segments(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(path, tiny_spec(), 7, 11, 2_000, include_segments=True)
+        program, stream = load_trace(path)
+        expected = run_oracle(generate_program(tiny_spec(), 7), 2_000, 11)
+        assert stream.total_instructions == expected.total_instructions
+        assert stream.total_branches == expected.total_branches
+        assert stream.total_taken == expected.total_taken
+        got = [(s.start, s.n_instrs, s.next_start, s.branches) for s in stream.segments]
+        want = [(s.start, s.n_instrs, s.next_start, s.branches) for s in expected.segments]
+        assert got == want
+
+
+class TestValidation:
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_unknown_spec_field(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(path, tiny_spec(), 7, 11, 100)
+        doc = json.loads(path.read_text())
+        doc["program_spec"]["mystery_knob"] = 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,29 @@
+"""Additional rendering tests: wide cells, mixed types, real figures."""
+
+from repro.experiments.report import render_table
+
+
+class TestRenderEdgeCases:
+    def test_wide_cells_extend_columns(self):
+        text = render_table("T", ["a"], [["a-very-long-cell-value"]])
+        header, sep, row = text.splitlines()[1:]
+        assert len(sep) >= len("a-very-long-cell-value")
+
+    def test_mixed_numeric_types(self):
+        text = render_table("T", ["x", "y"], [[1, 1.5], [2, 2.0]])
+        assert "1.50" in text and "2.00" in text
+
+    def test_no_rows(self):
+        text = render_table("T", ["x"], [])
+        assert text.splitlines()[0] == "== T =="
+
+    def test_bool_and_none_cells(self):
+        text = render_table("T", ["x", "y"], [[True, None]])
+        assert "True" in text and "None" in text
+
+    def test_alignment_consistent(self):
+        text = render_table("T", ["aa", "b"], [["x", "yyyy"], ["zzz", "w"]])
+        lines = text.splitlines()[1:]
+        # Column boundary at the same offset on every line.
+        boundary = {line.index("|" if "|" in line else "+") for line in lines}
+        assert len(boundary) == 1

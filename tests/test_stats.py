@@ -1,0 +1,124 @@
+"""Unit tests for repro.common.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import StatSet, amean, geomean, speedup, summarize, weighted_mean
+
+
+class TestStatSet:
+    def test_bump_and_get(self):
+        s = StatSet()
+        s.bump("x")
+        s.bump("x", 4)
+        assert s.get("x") == 5
+        assert s["x"] == 5
+
+    def test_missing_is_zero(self):
+        assert StatSet().get("nope") == 0
+
+    def test_contains(self):
+        s = StatSet()
+        assert "a" not in s
+        s.bump("a", 0)
+        assert "a" in s
+
+    def test_set_overwrites(self):
+        s = StatSet()
+        s.bump("a", 10)
+        s.set("a", 3)
+        assert s.get("a") == 3
+
+    def test_names_sorted(self):
+        s = StatSet()
+        s.bump("b")
+        s.bump("a")
+        assert s.names() == ["a", "b"]
+
+    def test_merge(self):
+        a, b = StatSet(), StatSet()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_per_kilo(self):
+        s = StatSet()
+        s.set("miss", 5)
+        s.set("instr", 1000)
+        assert s.per_kilo("miss", "instr") == 5.0
+
+    def test_per_kilo_zero_denominator(self):
+        assert StatSet().per_kilo("a", "b") == 0.0
+
+    def test_ratio(self):
+        s = StatSet()
+        s.set("a", 3)
+        s.set("b", 4)
+        assert s.ratio("a", "b") == 0.75
+
+    def test_as_dict_is_copy(self):
+        s = StatSet()
+        s.bump("a")
+        d = s.as_dict()
+        d["a"] = 99
+        assert s.get("a") == 1
+
+
+class TestAggregates:
+    def test_geomean_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_identity(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_amean(self):
+        assert amean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_amean_empty_raises(self):
+        with pytest.raises(ValueError):
+            amean([])
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_speedup_bad_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+
+    def test_weighted_mean_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([(1.0, 0.0)])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=30))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=30))
+    def test_geomean_le_amean(self, values):
+        assert geomean(values) <= amean(values) + 1e-9
+
+
+class TestSummarize:
+    def test_extracts_subset(self):
+        a, b = StatSet(), StatSet()
+        a.set("x", 1)
+        b.set("x", 2)
+        out = summarize({"a": a, "b": b}, ["x", "y"])
+        assert out == {"a": {"x": 1, "y": 0}, "b": {"x": 2, "y": 0}}

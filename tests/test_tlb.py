@@ -1,0 +1,61 @@
+"""Tests for the instruction TLB (repro.memory.tlb)."""
+
+import pytest
+
+from repro.memory.tlb import TLB
+
+
+class TestTranslate:
+    def test_first_access_misses(self):
+        tlb = TLB(4, 4096, miss_latency=20)
+        assert tlb.translate(0x1000) == 20
+        assert tlb.misses == 1
+
+    def test_same_page_hits(self):
+        tlb = TLB(4, 4096, miss_latency=20)
+        tlb.translate(0x1000)
+        assert tlb.translate(0x1FFC) == 0
+        assert tlb.hits == 1
+
+    def test_different_page_misses(self):
+        tlb = TLB(4, 4096, miss_latency=20)
+        tlb.translate(0x1000)
+        assert tlb.translate(0x2000) == 20
+
+    def test_lru_eviction(self):
+        tlb = TLB(2, 4096, miss_latency=5)
+        tlb.translate(0x0000)
+        tlb.translate(0x1000)
+        tlb.translate(0x0000)  # refresh page 0
+        tlb.translate(0x2000)  # evicts page 1
+        assert tlb.contains(0x0000)
+        assert not tlb.contains(0x1000)
+
+    def test_contains_no_side_effects(self):
+        tlb = TLB(2, 4096, miss_latency=5)
+        assert not tlb.contains(0x1000)
+        assert tlb.misses == 0
+
+    def test_page_of(self):
+        tlb = TLB(2, 4096, 5)
+        assert tlb.page_of(0x1FFF) == 0x1000
+
+    def test_reset_stats(self):
+        tlb = TLB(2, 4096, 5)
+        tlb.translate(0)
+        tlb.reset_stats()
+        assert tlb.misses == 0
+
+
+class TestValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TLB(0, 4096, 5)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            TLB(4, 1000, 5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            TLB(4, 4096, -1)

@@ -1,0 +1,67 @@
+"""Tests for the ASCII visualisation helpers (repro.experiments.viz)."""
+
+import pytest
+
+from repro.experiments.viz import bar_chart, chart_for_experiment, series
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart("T", [("alpha", 10.0), ("beta", -5.0)])
+        assert "alpha" in out and "beta" in out
+        assert "+10.0%" in out and "-5.0%" in out
+
+    def test_negative_bars_use_dashes(self):
+        out = bar_chart("T", [("a", -4.0), ("b", 4.0)])
+        neg_line = next(l for l in out.splitlines() if l.startswith("a"))
+        assert "-" in neg_line.split("|")[1]
+
+    def test_scaling_to_peak(self):
+        out = bar_chart("T", [("big", 100.0), ("small", 1.0)], width=10)
+        big = next(l for l in out.splitlines() if l.startswith("big"))
+        assert big.count("#") == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", [])
+
+    def test_zero_values_ok(self):
+        out = bar_chart("T", [("z", 0.0)])
+        assert "+0.0%" in out
+
+
+class TestSeries:
+    def test_renders_axes_and_legend(self):
+        out = series("S", [1, 2, 4], {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]})
+        assert "legend:" in out
+        assert "max 2.0" in out and "min 0.0" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            series("S", [1, 2], {"a": [1.0]})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            series("S", [1], {})
+
+    def test_flat_series(self):
+        out = series("S", [1, 2], {"a": [3.0, 3.0]})
+        assert "min 3.0" in out
+
+
+class TestChartForExperiment:
+    def test_picks_first_numeric_column(self):
+        data = {
+            "title": "T",
+            "headers": ["name", "speedup_%"],
+            "rows": [["x", 5.0], ["y", 10.0]],
+        }
+        out = chart_for_experiment(data)
+        assert out is not None and "x" in out and "%" in out
+
+    def test_no_numeric_column(self):
+        data = {"title": "T", "headers": ["a", "b"], "rows": [["x", "y"]]}
+        assert chart_for_experiment(data) is None
+
+    def test_empty_rows(self):
+        assert chart_for_experiment({"title": "T", "headers": [], "rows": []}) is None

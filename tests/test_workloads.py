@@ -1,0 +1,94 @@
+"""Tests for the workload catalogue (repro.trace.workloads)."""
+
+import pytest
+
+from repro.trace.workloads import (
+    TRACE_SLACK,
+    WorkloadSpec,
+    default_workloads,
+    make_trace,
+    workload_by_name,
+)
+from tests.conftest import tiny_spec
+
+
+class TestCatalogue:
+    def test_eight_workloads_three_categories(self):
+        workloads = default_workloads()
+        assert len(workloads) == 8
+        assert {w.category for w in workloads} == {"server", "client", "spec"}
+
+    def test_names_unique(self):
+        names = [w.name for w in default_workloads()]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("srv_web").category == "server"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            workload_by_name("srv_missing")
+
+    def test_rejects_bad_category(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("x", "desktop", tiny_spec(), 1, 2)
+
+
+class TestMakeTrace:
+    def test_includes_slack(self):
+        _, stream = make_trace("spc_fp", 5_000)
+        assert stream.total_instructions >= 5_000 + TRACE_SLACK
+
+    def test_cached_identity(self):
+        a = make_trace("spc_fp", 5_000)
+        b = make_trace("spc_fp", 5_000)
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_accepts_spec_object(self):
+        wl = workload_by_name("spc_fp")
+        program, stream = make_trace(wl, 5_000)
+        assert program.footprint_bytes > 0
+
+    def test_deterministic_across_lengths(self):
+        """A longer trace extends, not perturbs, a shorter one."""
+        _, short = make_trace("spc_fp", 3_000)
+        _, long = make_trace("spc_fp", 6_000)
+        n = min(200, len(short.segments) - 1)
+        assert [(s.start, s.n_instrs) for s in short.segments[:n]] == [
+            (s.start, s.n_instrs) for s in long.segments[:n]
+        ]
+
+
+class TestCategoryCharacter:
+    def test_server_footprint_exceeds_l1i(self):
+        for name in ("srv_web", "srv_db", "srv_cache"):
+            program, stream = make_trace(name, 60_000)
+            lines = set()
+            for seg in stream.segments:
+                addr = seg.start
+                for i in range(seg.n_instrs):
+                    lines.add((addr + 4 * i) & ~63)
+            assert len(lines) * 64 > 32 * 1024, name
+
+    def test_spec_smaller_than_server(self):
+        srv, _ = make_trace("srv_web", 20_000)
+        spc, _ = make_trace("spc_int_a", 20_000)
+        assert spc.footprint_bytes < srv.footprint_bytes
+
+
+@pytest.mark.slow
+class TestSelectionRule:
+    def test_perfect_icache_uplift_exceeds_5_percent(self):
+        """The paper only keeps workloads whose perfect-I-cache uplift
+        exceeds 5% (Section V); our catalogue must satisfy the same."""
+        from repro.common.params import SimParams
+        from repro.core.simulator import simulate
+
+        base = SimParams(warmup_instructions=10_000, sim_instructions=25_000).with_frontend(
+            ftq_entries=2, pfc_enabled=False
+        )
+        perfect = base.replace(prefetcher="perfect")
+        for wl in default_workloads():
+            r0 = simulate(wl.name, base)
+            r1 = simulate(wl.name, perfect)
+            assert r1.ipc / r0.ipc > 1.05, wl.name
