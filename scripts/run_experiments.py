@@ -7,9 +7,10 @@ Usage::
     python scripts/run_experiments.py fig7 fig8  # a subset
 
 Each experiment's rendered table is printed and archived under
-``results/<name>.txt``.  Results are memoised within one invocation, so
-grouping experiments that share baselines (e.g. fig7 + fig11) is faster
-than running them separately.
+``results/<name>.txt``.  Results are memoised in-process and in the
+persistent result cache (``results/.cache/``), so warm re-runs simulate
+nothing; uncached points fan out across ``REPRO_JOBS`` worker
+processes.  A cache/simulation summary is printed at the end.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.analysis import ALL_ABLATIONS
+from repro.experiments.cache import cache_stats
 from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
 from repro.experiments.report import render_table
 
@@ -45,6 +47,13 @@ def main(argv: list[str]) -> int:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(text)
         print(f"[{name} done in {time.time() - t0:.1f}s]\n", flush=True)
+    stats = cache_stats()
+    print(
+        f"[cache: {stats.get('sim_runs')} simulated, "
+        f"{stats.get('cache_memo_hit')} memo hits, "
+        f"{stats.get('cache_disk_hit')} disk hits, "
+        f"{stats.get('cache_stale')} stale]"
+    )
     return 0
 
 

@@ -19,6 +19,11 @@ from repro.isa.instructions import BranchKind
 _CHUNK_BYTES = 16
 
 
+def _entry_addr(entry: "BTBEntry") -> int:
+    """Sort key for scan results (module-level: no per-call closure)."""
+    return entry.addr
+
+
 @dataclass(slots=True)
 class BTBEntry:
     """One BTB entry: a previously seen branch."""
@@ -31,7 +36,24 @@ class BTBEntry:
 
 
 class BTB:
-    """Set-associative, 16B-indexed branch target buffer."""
+    """Set-associative, 16B-indexed branch target buffer.
+
+    ``scan_block`` runs for every FTQ entry the prediction pipeline
+    forms, so set indexing uses a mask whenever ``n_sets`` is a power
+    of two (all the Fig 7/11 sweep points) with a ``%`` fallback.
+    """
+
+    __slots__ = (
+        "n_entries",
+        "assoc",
+        "n_sets",
+        "_set_mask",
+        "_sets",
+        "lookups",
+        "hit_count",
+        "insertions",
+        "evictions",
+    )
 
     def __init__(self, n_entries: int, assoc: int) -> None:
         if n_entries <= 0 or assoc <= 0 or n_entries % assoc:
@@ -39,6 +61,7 @@ class BTB:
         self.n_entries = n_entries
         self.assoc = assoc
         self.n_sets = n_entries // assoc
+        self._set_mask = self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else -1
         # Each set is MRU-ordered.
         self._sets: list[list[BTBEntry]] = [[] for _ in range(self.n_sets)]
         self.lookups = 0
@@ -47,6 +70,8 @@ class BTB:
         self.evictions = 0
 
     def _set_index(self, addr: int) -> int:
+        if self._set_mask >= 0:
+            return (addr >> 4) & self._set_mask
         return (addr // _CHUNK_BYTES) % self.n_sets
 
     # ------------------------------------------------------------------
@@ -74,22 +99,24 @@ class BTB:
         """
         self.lookups += 1
         found: list[BTBEntry] = []
+        sets = self._sets
+        set_index = self._set_index
         chunk = start & ~(_CHUNK_BYTES - 1)
-        seen_sets: set[int] = set()
+        seen_sets: list[int] = []  # a fetch block spans at most a few chunks
         while chunk <= end:
-            set_idx = self._set_index(chunk)
+            set_idx = set_index(chunk)
             if set_idx not in seen_sets:
-                seen_sets.add(set_idx)
-                for entry in self._sets[set_idx]:
+                seen_sets.append(set_idx)
+                for entry in sets[set_idx]:
                     if start <= entry.addr <= end:
                         found.append(entry)
             chunk += _CHUNK_BYTES
         if found:
             self.hit_count += 1
-            found.sort(key=lambda e: e.addr)
+            found.sort(key=_entry_addr)
             for entry in found:
-                ways = self._sets[self._set_index(entry.addr)]
-                if ways and ways[0] is not entry:
+                ways = sets[set_index(entry.addr)]
+                if ways[0] is not entry:
                     ways.remove(entry)
                     ways.insert(0, entry)
         return found

@@ -31,7 +31,6 @@ missing.
 
 from __future__ import annotations
 
-from repro.common.bits import target_hash
 from repro.common.params import HistoryPolicy
 
 #: Bits shifted in per taken branch under target history (paper Eq. 3).
@@ -41,12 +40,21 @@ TARGET_SHIFT = 2
 class HistoryManager:
     """Stateless policy object: all methods map history -> history."""
 
+    __slots__ = ("policy", "bits", "mask", "_target_history", "_ideal", "_fixes_nt", "_alloc_all")
+
     def __init__(self, policy: HistoryPolicy, bits: int) -> None:
         if bits <= 0:
             raise ValueError("history length must be positive")
         self.policy = policy
         self.bits = bits
         self.mask = (1 << bits) - 1
+        # Policy predicates resolve to enum-membership tests; the push
+        # primitives run per predicted branch, so cache them as plain
+        # bools once.
+        self._target_history = policy.uses_target_history
+        self._ideal = policy is HistoryPolicy.IDEAL
+        self._fixes_nt = policy.fixes_not_taken_history
+        self._alloc_all = policy.allocates_all_branches
 
     # ------------------------------------------------------------------
     # Primitive pushes
@@ -57,13 +65,13 @@ class HistoryManager:
         Target history folds in a hash of (pc, target) -- Eq. 2/3;
         direction history shifts in a 1 bit -- Eq. 1.
         """
-        if self.policy.uses_target_history:
-            return ((hist << TARGET_SHIFT) ^ target_hash(pc, target)) & self.mask
+        if self._target_history:
+            return ((hist << TARGET_SHIFT) ^ (pc >> 2) ^ (target >> 3)) & self.mask
         return ((hist << 1) | 1) & self.mask
 
     def push_not_taken(self, hist: int) -> int:
         """Record a not-taken branch (no-op under target history)."""
-        if self.policy.uses_target_history:
+        if self._target_history:
             return hist
         return (hist << 1) & self.mask
 
@@ -95,12 +103,12 @@ class HistoryManager:
         would have accumulated on the correct path, because it is copied
         back into the frontend on every pipeline flush.
         """
-        if self.policy.uses_target_history:
+        if self._target_history:
             if taken:
                 return self.push_taken(hist, pc, target), False
             return hist, False
 
-        if self.policy is HistoryPolicy.IDEAL:
+        if self._ideal:
             return self.push_outcome(hist, pc, taken, target), False
 
         if detected:
@@ -110,7 +118,7 @@ class HistoryManager:
         if taken:
             # The misprediction flush unrolls and repairs the history.
             return self.push_taken(hist, pc, target), False
-        if self.policy.fixes_not_taken_history:
+        if self._fixes_nt:
             return self.push_not_taken(hist), True
         # GHR0/GHR1: the bit is simply lost.
         return hist, False
@@ -120,15 +128,15 @@ class HistoryManager:
     # ------------------------------------------------------------------
     @property
     def allocates_all_branches(self) -> bool:
-        return self.policy.allocates_all_branches
+        return self._alloc_all
 
     @property
     def fixes_not_taken(self) -> bool:
-        return self.policy.fixes_not_taken_history
+        return self._fixes_nt
 
     @property
     def is_ideal(self) -> bool:
-        return self.policy is HistoryPolicy.IDEAL
+        return self._ideal
 
     def __repr__(self) -> str:
         return f"HistoryManager({self.policy.value}, bits={self.bits})"

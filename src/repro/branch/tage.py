@@ -82,11 +82,35 @@ class TageConfig:
 class TAGE:
     """The predictor proper."""
 
+    __slots__ = (
+        "config",
+        "lengths",
+        "_hist_masks",
+        "_idx_bits",
+        "_idx_mask",
+        "_tag_bits",
+        "_tag_mask",
+        "_ctr",
+        "_tag",
+        "_u",
+        "_bimodal",
+        "_bimodal_mask",
+        "_use_alt_on_na",
+        "_tick",
+        "_fold_cache",
+        "_pc_mix_cache",
+        "_table_salts",
+        "predictions",
+        "updates",
+        "allocations",
+    )
+
     def __init__(self, config: TageConfig) -> None:
         self.config = config
         self.lengths = config.history_lengths()
         self._hist_masks = [(1 << length) - 1 for length in self.lengths]
         self._idx_bits = config.table_entries.bit_length() - 1
+        self._idx_mask = config.table_entries - 1
         self._tag_bits = config.tag_bits
         self._tag_mask = (1 << config.tag_bits) - 1
         n = config.n_tables
@@ -101,6 +125,8 @@ class TAGE:
         self._use_alt_on_na = 0  # in [-8, 7]
         self._tick = 0
         self._fold_cache: dict[int, list[tuple[int, int]]] = {}
+        self._pc_mix_cache: dict[int, list[int]] = {}
+        self._table_salts = [(t * 0x9E3779B1) for t in range(n)]
         self.predictions = 0
         self.updates = 0
         self.allocations = 0
@@ -117,15 +143,27 @@ class TAGE:
             (fold(hist & mask, self._idx_bits), fold((hist & mask) * 3, self._tag_bits))
             for mask in self._hist_masks
         ]
-        if len(self._fold_cache) >= 16:
+        if len(self._fold_cache) >= 8192:
             self._fold_cache.clear()
         self._fold_cache[hist] = folds
         return folds
 
+    def _pc_mixes(self, pc: int) -> list[int]:
+        """Per-table PC hash; the branch PC working set is small, so
+        one dict lookup replaces ``n_tables`` mix64 evaluations."""
+        mixes = self._pc_mix_cache.get(pc)
+        if mixes is None:
+            base = mix64(pc >> 2)
+            mixes = [base ^ salt for salt in self._table_salts]
+            if len(self._pc_mix_cache) >= 65536:
+                self._pc_mix_cache.clear()
+            self._pc_mix_cache[pc] = mixes
+        return mixes
+
     def _index_and_tag(self, table: int, pc: int, folds) -> tuple[int, int]:
         hfold, tfold = folds[table]
-        pc_mix = mix64(pc >> 2) ^ (table * 0x9E3779B1)
-        idx = (hfold ^ pc_mix) & (self.config.table_entries - 1)
+        pc_mix = self._pc_mixes(pc)[table]
+        idx = (hfold ^ pc_mix) & self._idx_mask
         tag = (tfold ^ (pc_mix >> 13)) & self._tag_mask
         return idx, tag
 
@@ -143,19 +181,25 @@ class TAGE:
 
     def _predict_full(self, pc: int, hist: int):
         folds = self._folds(hist)
+        mixes = self._pc_mixes(pc)
+        idx_mask = self._idx_mask
+        tag_mask = self._tag_mask
+        tags = self._tag
         provider = -1
         provider_idx = -1
         alt = -1
         alt_idx = -1
         for table in range(self.config.n_tables - 1, -1, -1):
-            idx, tag = self._index_and_tag(table, pc, folds)
-            if self._tag[table][idx] == tag:
+            hfold, tfold = folds[table]
+            pc_mix = mixes[table]
+            idx = (hfold ^ pc_mix) & idx_mask
+            if tags[table][idx] == (tfold ^ (pc_mix >> 13)) & tag_mask:
                 if provider < 0:
                     provider, provider_idx = table, idx
                 else:
                     alt, alt_idx = table, idx
                     break
-        bimodal_taken = self._bimodal[self._bimodal_index(pc)] >= 0
+        bimodal_taken = self._bimodal[(pc >> 2) & self._bimodal_mask] >= 0
         if provider < 0:
             return bimodal_taken, (provider, provider_idx, alt, alt_idx, bimodal_taken)
         ctr = self._ctr[provider][provider_idx]

@@ -1,14 +1,18 @@
 """Command-line interface.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro run  --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
     python -m repro report fig7 fig14     # regenerate paper experiments
+    python -m repro bench                 # cycle-loop throughput -> BENCH_core.json
+    python -m repro cache info|clear      # persistent result cache
 
 ``run`` simulates one (workload, configuration) pair and prints the
 metric summary; every microarchitectural knob the evaluation sweeps is
-exposed as a flag.
+exposed as a flag.  ``report`` honours ``REPRO_JOBS`` (parallel sweep
+workers) and the persistent result cache (``REPRO_CACHE_DIR``); see
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -23,6 +27,9 @@ from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
 from repro.experiments.report import render_table
 
 ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
+from repro.experiments.bench import DEFAULT_OUTPUT as _BENCH_OUTPUT
+from repro.experiments.bench import run_bench, write_bench
+from repro.experiments.cache import ResultCache, cache_stats
 from repro.prefetch import prefetcher_names
 from repro.trace.workloads import default_workloads
 
@@ -68,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate paper tables/figures")
     report.add_argument("experiments", nargs="*", help="subset (default: all)")
     report.add_argument("--plot", action="store_true", help="add ASCII bar charts")
+
+    bench = sub.add_parser("bench", help="measure simulated instructions/sec")
+    bench.add_argument(
+        "--workloads",
+        default="quick",
+        help="'quick' (default), 'all', or comma-separated catalogue names",
+    )
+    bench.add_argument("--warmup", type=int, default=None, help="warmup instructions")
+    bench.add_argument("--instructions", type=int, default=None, help="measured instructions")
+    bench.add_argument("--repeats", type=int, default=1, help="best-of-N repeats per workload")
+    bench.add_argument("--output", default=None, help=f"JSON path (default {_BENCH_OUTPUT})")
+
+    cache = sub.add_parser("cache", help="manage the persistent result cache")
+    cache.add_argument("action", choices=["info", "clear"])
 
     return parser
 
@@ -142,10 +163,68 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure cycle-loop throughput and write BENCH_core.json."""
+    from repro.experiments.configs import default_params, evaluation_workloads
+
+    if args.workloads == "quick":
+        workloads = None  # bench default: the quick set
+    elif args.workloads == "all":
+        workloads = [w.name for w in default_workloads()]
+    else:
+        workloads = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        known = {w.name for w in default_workloads()}
+        unknown = [n for n in workloads if n not in known]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    params = default_params()
+    if args.warmup is not None:
+        params = params.replace(warmup_instructions=args.warmup)
+    if args.instructions is not None:
+        params = params.replace(sim_instructions=args.instructions)
+    payload = run_bench(workloads=workloads, params=params, repeats=args.repeats)
+    path = write_bench(payload, args.output or _BENCH_OUTPUT)
+    for name, row in payload["workloads"].items():
+        print(
+            f"{name:14s} {row['instructions_per_second']:>12,.0f} instrs/sec "
+            f"({row['wall_seconds']:.2f}s, IPC={row['ipc']:.2f})"
+        )
+    agg = payload["aggregate"]
+    print(f"{'TOTAL':14s} {agg['instructions_per_second']:>12,.0f} instrs/sec")
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent result cache."""
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    info = cache.info()
+    print(f"cache dir: {info['directory']}")
+    print(f"schema:    v{info['schema']}")
+    print(f"entries:   {info['entries']} ({info['total_bytes']:,} bytes)")
+    session = cache_stats().as_dict()
+    if session:
+        print("this session:")
+        for name in sorted(session):
+            print(f"  {name} = {session[name]}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "list": cmd_list, "report": cmd_report}
+    handlers = {
+        "run": cmd_run,
+        "list": cmd_list,
+        "report": cmd_report,
+        "bench": cmd_bench,
+        "cache": cmd_cache,
+    }
     return handlers[args.command](args)
 
 

@@ -10,17 +10,22 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Mapping
+from collections import defaultdict
 
 
 class StatSet:
     """A dictionary of named counters with convenience arithmetic."""
 
+    __slots__ = ("_counters",)
+
     def __init__(self) -> None:
-        self._counters: dict[str, int] = {}
+        # defaultdict makes ``bump`` a single indexed add -- it is the
+        # most frequently called method in the whole simulator.
+        self._counters: dict[str, int] = defaultdict(int)
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (creating it at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        self._counters[name] += amount
 
     def set(self, name: str, value: int) -> None:
         """Set counter ``name`` to an absolute value."""

@@ -205,12 +205,16 @@ class Backend:
         self.stats = stats
         self.flush_callback = flush_callback
         self.committed = 0
+        self._retire_width = params.core.retire_width
 
     def cycle(self, cycle: int) -> None:
         """Retire up to ``retire_width`` instructions."""
-        width = self.params.core.retire_width
-        if self.dq.total_instrs < width:
+        width = self._retire_width
+        dq = self.dq
+        if dq.total_instrs < width:
             self.stats.bump("starvation_cycles")
+            if not dq._chunks:  # empty queue: nothing to retire this cycle
+                return
         budget = width
         while budget > 0:
             chunk = self.dq.head()

@@ -221,25 +221,44 @@ class Simulator:
         """Simulate warmup + measurement windows; return the result."""
         params = self.params
         target = params.warmup_instructions + params.sim_instructions
+        warmup = params.warmup_instructions
         guard = _CYCLE_GUARD_FACTOR * target + 100_000
-        while self.backend.committed < target:
-            cycle = self.cycle
-            fills = self.memory.tick(cycle)
+        # The cycle loop is the simulator's hot path: bind the per-stage
+        # methods and collaborating objects once so each iteration pays
+        # local loads instead of repeated attribute lookups.  Bound
+        # methods stay valid across the measurement-boundary stats swap
+        # (only ``.stats`` attributes are replaced, never the objects).
+        backend = self.backend
+        ftq = self.ftq
+        memory_tick = self.memory.tick
+        complete_fills = self.fetch.complete_fills
+        backend_cycle = backend.cycle
+        fetch_stage = self.fetch.fetch_stage
+        bpu_cycle = self.bpu.cycle
+        probe_stage = self.fetch.probe_stage
+        prefetcher = self.prefetcher
+        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
+        cycle = self.cycle
+        while backend.committed < target:
+            fills = memory_tick(cycle)
             if fills:
-                self.fetch.complete_fills(fills, cycle)
-            self.backend.cycle(cycle)
-            if not self._measuring and self.backend.committed >= params.warmup_instructions:
+                complete_fills(fills, cycle)
+            backend_cycle(cycle)
+            if not self._measuring and backend.committed >= warmup:
+                self.cycle = cycle
                 self._begin_measurement()
-            self.fetch.fetch_stage(cycle)
-            self.bpu.cycle(cycle, self.ftq)
-            self.fetch.probe_stage(cycle)
-            if self.prefetcher is not None:
-                self.prefetcher.cycle(cycle)
-            self.cycle += 1
-            if self.cycle > guard:
+            fetch_stage(cycle)
+            bpu_cycle(cycle, ftq)
+            probe_stage(cycle)
+            if prefetcher_cycle is not None:
+                prefetcher_cycle(cycle)
+            cycle += 1
+            if cycle > guard:
+                self.cycle = cycle
                 raise RuntimeError(
-                    f"livelock: {self.cycle} cycles, {self.backend.committed}/{target} committed"
+                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
                 )
+        self.cycle = cycle
         if not self._measuring:
             self._begin_measurement()
         instructions = self.backend.committed - self._measure_start_committed

@@ -1,11 +1,20 @@
-"""Experiment harness: canonical configurations, cached runner, and one
-function per table/figure of the paper (see DESIGN.md section 4)."""
+"""Experiment harness: canonical configurations, cached/parallel runner,
+the persistent result cache, and one function per table/figure of the
+paper (see DESIGN.md section 4 and docs/PERFORMANCE.md)."""
 
+from repro.experiments.cache import (
+    ResultCache,
+    cache_stats,
+    params_fingerprint,
+    run_key,
+    workload_fingerprint,
+)
 from repro.experiments.configs import (
     baseline_params,
     default_params,
     evaluation_workloads,
     no_fdp,
+    repro_jobs,
 )
 from repro.experiments.runner import (
     clear_cache,
@@ -13,16 +22,24 @@ from repro.experiments.runner import (
     mean_metric,
     run_config,
     run_matrix,
+    run_points,
 )
 
 __all__ = [
+    "ResultCache",
     "baseline_params",
+    "cache_stats",
+    "clear_cache",
     "default_params",
     "evaluation_workloads",
-    "no_fdp",
-    "clear_cache",
     "geomean_speedup",
     "mean_metric",
+    "no_fdp",
+    "params_fingerprint",
+    "repro_jobs",
     "run_config",
+    "run_key",
     "run_matrix",
+    "run_points",
+    "workload_fingerprint",
 ]

@@ -1,0 +1,107 @@
+"""Simulator throughput benchmark (``repro bench``).
+
+Measures *simulated instructions per second of wall clock* -- the
+number that bounds every sweep -- on the quick workload set, and writes
+``BENCH_core.json`` so the performance trajectory of the pure-Python
+cycle loop is tracked PR over PR.
+
+Methodology:
+
+* Trace generation happens outside the timed region (sweeps amortise
+  it across dozens of configurations; the cycle loop is what we track).
+* Each workload runs ``repeats`` times single-process with caching
+  bypassed (a benchmark that reads the result cache would measure
+  pickle, not simulation); the best repeat is reported to suppress
+  scheduler noise.
+* The headline number is total simulated instructions over total
+  best-repeat wall time, plus a geomean of per-workload rates.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.common.params import SimParams
+from repro.common.stats import geomean
+from repro.core.simulator import Simulator
+from repro.experiments.configs import QUICK_WORKLOADS, default_params
+from repro.trace.workloads import make_trace
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_OUTPUT = "BENCH_core.json"
+
+
+def bench_workload(
+    workload: str,
+    params: SimParams,
+    repeats: int = 1,
+) -> dict:
+    """Time one workload; returns its per-run metrics (best of repeats)."""
+    n = params.warmup_instructions + params.sim_instructions
+    program, stream = make_trace(workload, n)  # untimed: setup, not simulation
+    best_wall = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        sim = Simulator(params, program, stream)
+        t0 = time.perf_counter()
+        run = sim.run(workload_name=workload)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall = wall
+            result = run
+    return {
+        "instructions": n,
+        "measured_instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "wall_seconds": best_wall,
+        "instructions_per_second": n / best_wall if best_wall > 0 else 0.0,
+    }
+
+
+def run_bench(
+    workloads: list[str] | None = None,
+    params: SimParams | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Benchmark the cycle loop; returns the BENCH_core payload."""
+    workloads = workloads or list(QUICK_WORKLOADS)
+    params = params or default_params()
+    per_workload: dict[str, dict] = {}
+    for wl in workloads:
+        per_workload[wl] = bench_workload(wl, params, repeats=repeats)
+    total_instrs = sum(w["instructions"] for w in per_workload.values())
+    total_wall = sum(w["wall_seconds"] for w in per_workload.values())
+    rates = [w["instructions_per_second"] for w in per_workload.values()]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "warmup_instructions": params.warmup_instructions,
+            "sim_instructions": params.sim_instructions,
+            "label": params.label(),
+            "repeats": repeats,
+            "workloads": workloads,
+        },
+        "workloads": per_workload,
+        "aggregate": {
+            "total_instructions": total_instrs,
+            "total_wall_seconds": total_wall,
+            "instructions_per_second": total_instrs / total_wall if total_wall > 0 else 0.0,
+            "geomean_instructions_per_second": geomean(rates) if all(r > 0 for r in rates) else 0.0,
+        },
+    }
+
+
+def write_bench(payload: dict, output: str | Path = DEFAULT_OUTPUT) -> Path:
+    """Write the benchmark payload as pretty-printed JSON."""
+    path = Path(output)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

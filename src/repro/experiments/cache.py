@@ -1,0 +1,200 @@
+"""Content-addressed persistent result cache.
+
+Every simulation is a pure function of ``(workload, SimParams)`` -- the
+trace generators are seeded and the simulator is deterministic -- so
+:class:`RunResult` objects can be stored on disk and replayed on any
+later invocation.  Keys are stable SHA-256 fingerprints of the
+*content* of the workload spec and the parameter bundle (not object
+identity), so equal-but-distinct param objects built through
+``dataclasses.replace`` hash to the same entry.
+
+Layout: one pickle file per result under ``results/.cache/`` (override
+with ``REPRO_CACHE_DIR``), named ``<key>.pkl``.  Each payload carries a
+schema tag; entries written by an older schema are *stale* and treated
+as misses (and deleted on sight).  Bump :data:`SIM_SCHEMA_VERSION`
+whenever a change to the simulator, trace generators or predictors can
+alter results -- the key embeds it, so every old entry invalidates at
+once.
+
+Session counters (hits/misses/stale/stores plus the runner's memo and
+simulation counts) live in a :class:`repro.common.stats.StatSet`
+exposed through :func:`cache_stats`; ``repro cache info`` prints them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+
+from repro.common.params import SimParams
+from repro.common.stats import StatSet
+from repro.core.metrics import RunResult
+from repro.trace.workloads import WorkloadSpec, workload_by_name
+
+SIM_SCHEMA_VERSION = 1
+"""Bump when simulator/trace/predictor changes can alter RunResults."""
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLED = "REPRO_CACHE"
+
+#: Session-wide cache statistics (read with ``repro cache info``):
+#: ``cache_disk_hit`` / ``cache_disk_miss`` / ``cache_stale`` /
+#: ``cache_store`` / ``cache_memo_hit`` / ``sim_runs``.
+CACHE_STATS = StatSet()
+
+
+def cache_stats() -> StatSet:
+    """The session's cache/runner counter set."""
+    return CACHE_STATS
+
+
+def cache_enabled() -> bool:
+    """Disk caching on/off (``REPRO_CACHE=0`` disables; default on)."""
+    return os.environ.get(_ENV_ENABLED, "1").strip().lower() not in ("0", "off", "no", "false")
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` or ``results/.cache`` next to the repo root."""
+    raw = os.environ.get(_ENV_DIR)
+    if raw:
+        return Path(raw)
+    return Path(__file__).resolve().parents[3] / "results" / ".cache"
+
+
+# ----------------------------------------------------------------------
+# Stable fingerprints
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Reduce dataclasses/enums/tuples to canonical JSON-able values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    return obj
+
+
+@lru_cache(maxsize=4096)
+def params_fingerprint(params: SimParams) -> str:
+    """Stable content hash of a parameter bundle."""
+    blob = json.dumps(_canonical(params), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@lru_cache(maxsize=256)
+def workload_fingerprint(workload: WorkloadSpec | str) -> str:
+    """Stable content hash of a workload (catalogue name or explicit spec)."""
+    spec = workload_by_name(workload) if isinstance(workload, str) else workload
+    blob = json.dumps(_canonical(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@lru_cache(maxsize=8192)
+def run_key(workload: WorkloadSpec | str, params: SimParams) -> str:
+    """Content-addressed key of one (workload, configuration) simulation."""
+    blob = json.dumps(
+        {
+            "schema": SIM_SCHEMA_VERSION,
+            "workload": workload_fingerprint(workload),
+            "params": params_fingerprint(params),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle-per-entry result store keyed by :func:`run_key`."""
+
+    def __init__(self, directory: Path | str | None = None, stats: StatSet | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.stats = stats if stats is not None else CACHE_STATS
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> RunResult | None:
+        """Load a cached result; None on miss or stale/corrupt entry."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.bump("cache_disk_miss")
+            return None
+        except Exception:
+            # Unreadable/corrupt entry: stale by definition.
+            self.stats.bump("cache_stale")
+            path.unlink(missing_ok=True)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SIM_SCHEMA_VERSION
+            or not isinstance(payload.get("result"), RunResult)
+        ):
+            self.stats.bump("cache_stale")
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.bump("cache_disk_hit")
+        return payload["result"]
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store one result atomically (tmp file + rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        payload = {"schema": SIM_SCHEMA_VERSION, "key": key, "result": result}
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except OSError:
+            # Caching is best-effort; a full/read-only disk must not
+            # fail the experiment run.
+            tmp.unlink(missing_ok=True)
+            return
+        self.stats.bump("cache_store")
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.directory.glob("*.tmp.*"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    def info(self) -> dict:
+        """Entry count and total bytes on disk plus session counters."""
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "directory": str(self.directory),
+            "schema": SIM_SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "session": self.stats.as_dict(),
+        }

@@ -11,6 +11,11 @@ and adjustable through environment variables:
 * ``REPRO_WORKLOADS``  -- ``all`` (default), ``quick`` (a 4-workload
   subset covering all three categories), or a comma-separated list of
   catalogue names.
+* ``REPRO_JOBS``       -- worker processes for sweep execution
+  (default: ``os.cpu_count()``; ``1`` forces the serial in-process
+  path).
+* ``REPRO_CACHE_DIR`` / ``REPRO_CACHE`` -- persistent result-cache
+  location / on-off switch (see :mod:`repro.experiments.cache`).
 """
 
 from __future__ import annotations
@@ -36,6 +41,20 @@ def _env_int(name: str, default: int) -> int:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from None
     if value <= 0:
         raise ValueError(f"{name} must be positive")
+    return value
+
+
+def repro_jobs() -> int:
+    """Worker processes for sweeps (``REPRO_JOBS``, default cpu count)."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or not raw.strip():
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError("REPRO_JOBS must be positive")
     return value
 
 

@@ -1,35 +1,74 @@
 """Cached simulation runner and aggregation helpers.
 
-Every figure shares the same baselines, so results are memoised by
-(workload, parameters) within the process.  Aggregation follows the
-paper's reporting (Section V): geometric mean for IPC speedups,
-arithmetic mean for per-kilo-instruction metrics.
+Every figure shares the same baselines, so results are memoised at two
+levels: an in-process dict and the persistent on-disk cache
+(:mod:`repro.experiments.cache`).  Both are keyed by the same stable
+content hash of ``(workload, SimParams)``, so equal-but-distinct
+parameter objects built via ``dataclasses.replace`` always hit.
+
+:func:`run_matrix` fans uncached (workload, configuration) points
+across a ``concurrent.futures.ProcessPoolExecutor``; the simulator is
+deterministic by seed, so parallel results are bit-identical to serial
+ones.  Worker count comes from ``REPRO_JOBS`` (default
+``os.cpu_count()``; ``1`` keeps everything in-process).
+
+Aggregation follows the paper's reporting (Section V): geometric mean
+for IPC speedups, arithmetic mean for per-kilo-instruction metrics.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.common.params import SimParams
 from repro.common.stats import amean, geomean
 from repro.core.metrics import RunResult
 from repro.core.simulator import simulate
+from repro.experiments.cache import CACHE_STATS, ResultCache, cache_enabled, run_key
+from repro.experiments.configs import repro_jobs
+from repro.trace.workloads import make_trace
 
-_CACHE: dict[tuple[str, SimParams], RunResult] = {}
+_CACHE: dict[str, RunResult] = {}
+"""In-process memo, keyed by the stable content hash (run_key)."""
+
+
+def _disk() -> ResultCache | None:
+    return ResultCache() if cache_enabled() else None
+
+
+def _simulate_point(workload: str, params: SimParams) -> RunResult:
+    """Worker entry point: one simulation (top-level for pickling)."""
+    return simulate(workload, params)
 
 
 def run_config(workload: str, params: SimParams) -> RunResult:
-    """Simulate (memoised) one workload under one configuration."""
-    key = (workload, params)
+    """Simulate (memoised + disk-cached) one workload configuration."""
+    key = run_key(workload, params)
     result = _CACHE.get(key)
-    if result is None:
-        result = simulate(workload, params)
-        _CACHE[key] = result
+    if result is not None:
+        CACHE_STATS.bump("cache_memo_hit")
+        return result
+    disk = _disk()
+    if disk is not None:
+        result = disk.get(key)
+        if result is not None:
+            _CACHE[key] = result
+            return result
+    CACHE_STATS.bump("sim_runs")
+    result = simulate(workload, params)
+    _CACHE[key] = result
+    if disk is not None:
+        disk.put(key, result)
     return result
 
 
 def clear_cache() -> None:
-    """Drop memoised results (tests use this for isolation)."""
+    """Drop memoised results (tests use this for isolation).
+
+    Only the in-process memo is dropped; the on-disk cache is managed
+    separately (``repro cache clear`` / :class:`ResultCache.clear`).
+    """
     _CACHE.clear()
 
 
@@ -38,15 +77,80 @@ def cache_size() -> int:
     return len(_CACHE)
 
 
+def run_points(
+    points: Iterable[tuple[str, SimParams]],
+    jobs: int | None = None,
+) -> dict[str, RunResult]:
+    """Resolve many (workload, params) points, in parallel when allowed.
+
+    Returns ``{run_key: RunResult}`` covering every requested point.
+    Cached points (memo or disk) never re-simulate; the remainder fans
+    out across a process pool when ``jobs`` (default ``REPRO_JOBS``)
+    exceeds 1 and more than one simulation is pending.
+    """
+    jobs = repro_jobs() if jobs is None else max(1, jobs)
+    disk = _disk()
+
+    resolved: dict[str, RunResult] = {}
+    pending: dict[str, tuple[str, SimParams]] = {}
+    for workload, params in points:
+        key = run_key(workload, params)
+        if key in resolved or key in pending:
+            continue
+        result = _CACHE.get(key)
+        if result is not None:
+            CACHE_STATS.bump("cache_memo_hit")
+            resolved[key] = result
+            continue
+        if disk is not None:
+            result = disk.get(key)
+            if result is not None:
+                _CACHE[key] = result
+                resolved[key] = result
+                continue
+        pending[key] = (workload, params)
+
+    if not pending:
+        return resolved
+
+    CACHE_STATS.bump("sim_runs", len(pending))
+    if jobs > 1 and len(pending) > 1:
+        # Pre-generate the needed traces so forked workers inherit warm
+        # lru_caches instead of regenerating per process.
+        for workload, params in pending.values():
+            make_trace(workload, params.warmup_instructions + params.sim_instructions)
+        keys = list(pending)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [pool.submit(_simulate_point, *pending[k]) for k in keys]
+            for key, future in zip(keys, futures):
+                resolved[key] = future.result()
+    else:
+        for key, (workload, params) in pending.items():
+            resolved[key] = _simulate_point(workload, params)
+
+    for key in pending:
+        result = resolved[key]
+        _CACHE[key] = result
+        if disk is not None:
+            disk.put(key, result)
+    return resolved
+
+
 def run_matrix(
     configs: Mapping[str, SimParams],
     workloads: Iterable[str],
+    jobs: int | None = None,
 ) -> dict[str, dict[str, RunResult]]:
     """Run every (config, workload) pair; returns results[label][workload]."""
-    out: dict[str, dict[str, RunResult]] = {}
-    for label, params in configs.items():
-        out[label] = {wl: run_config(wl, params) for wl in workloads}
-    return out
+    workloads = list(workloads)
+    by_key = run_points(
+        ((wl, params) for params in configs.values() for wl in workloads),
+        jobs=jobs,
+    )
+    return {
+        label: {wl: by_key[run_key(wl, params)] for wl in workloads}
+        for label, params in configs.items()
+    }
 
 
 def geomean_speedup(

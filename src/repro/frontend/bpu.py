@@ -185,6 +185,13 @@ class BranchPredictionUnit:
         self._uid = 0
         self._block_mask = ~(params.frontend.block_bytes - 1)
         self._block_last = params.frontend.block_bytes - 4
+        # Per-cycle loop constants, bound once (hot path).
+        self._predict_width = params.frontend.predict_width
+        self._max_taken = params.frontend.max_taken_per_cycle
+        self._perfect_btb = params.branch.perfect_btb
+        self._perfect_direction = params.branch.perfect_direction
+        self._perfect_indirect = params.branch.perfect_indirect
+        self._segments = stream.segments
 
     # ------------------------------------------------------------------
     # Per-cycle operation
@@ -193,8 +200,8 @@ class BranchPredictionUnit:
         """Produce up to ``predict_width`` instructions of fetch targets."""
         if cycle < self.stall_until:
             return
-        budget = self.params.frontend.predict_width
-        taken_budget = self.params.frontend.max_taken_per_cycle
+        budget = self._predict_width
+        taken_budget = self._max_taken
         while budget > 0 and not ftq.full:
             entry = self._predict_entry()
             ftq.push(entry)
@@ -230,12 +237,13 @@ class BranchPredictionUnit:
     # Entry formation
     # ------------------------------------------------------------------
     def _predict_entry(self) -> FTQEntry:
-        params = self.params
         start = self.pc
         on_path = self.cursor_seg != WRONG_PATH
-        seg = self.stream.segments[self.cursor_seg] if on_path else None
-        block_base = start & self._block_mask
-        block_last = block_base + self._block_last
+        seg = self._segments[self.cursor_seg] if on_path else None
+        block_last = (start & self._block_mask) + self._block_last
+        mgr = self.mgr
+        target_history = mgr._target_history
+        ideal = mgr._ideal
 
         hist = self.hist
         hist_snapshot = hist
@@ -257,8 +265,8 @@ class BranchPredictionUnit:
                     taken = override
                 detected.append(addr)
                 if not taken:
-                    if not self.mgr.policy.uses_target_history and not self.mgr.is_ideal:
-                        hist = self.mgr.push_not_taken(hist)
+                    if not target_history and not ideal:
+                        hist = mgr.push_not_taken(hist)
                         dir_pushes.append((addr, False))
                     continue
                 target = btb_target
@@ -273,9 +281,9 @@ class BranchPredictionUnit:
                 popped = self.ras.pop()
                 if popped is not None:
                     target = popped
-            if not self.mgr.is_ideal:
-                hist = self.mgr.spec_push(hist, addr, True, target)
-                if not self.mgr.policy.uses_target_history:
+            if not ideal:
+                hist = mgr.spec_push(hist, addr, True, target)
+                if not target_history:
                     dir_pushes.append((addr, True))
             pred_taken = True
             pred_target = target
@@ -285,13 +293,13 @@ class BranchPredictionUnit:
 
         # Ideal history: push precise oracle outcomes for every branch
         # in the covered range while on the correct path.
-        if self.mgr.is_ideal:
+        if ideal:
             if on_path:
                 hist = self._ideal_pushes(seg, start, term_addr, hist, dir_pushes)
             else:
                 for addr in detected:
                     bit = addr == term_addr and pred_taken
-                    hist = self.mgr.push_outcome(hist, addr, bit, pred_target)
+                    hist = mgr.push_outcome(hist, addr, bit, pred_target)
                     dir_pushes.append((addr, bit))
 
         detected_upto = tuple(a for a in detected if a <= term_addr)
@@ -341,11 +349,12 @@ class BranchPredictionUnit:
         With a real BTB this is the 16B-set scan; with a perfect BTB
         (Figs 6a/10/11) every branch in the static image is visible.
         """
-        if self.params.branch.perfect_btb:
+        if self._perfect_btb:
             out = []
             addr = start
+            instruction_at = self.program.instruction_at
             while addr <= block_last:
-                instr = self.program.instruction_at(addr)
+                instr = instruction_at(addr)
                 if instr is not None:
                     out.append((addr, instr.kind, instr.target))
                 addr += 4
@@ -357,7 +366,7 @@ class BranchPredictionUnit:
         ]
 
     def _predict_direction(self, addr: int, hist: int, seg) -> bool:
-        if self.params.branch.perfect_direction:
+        if self._perfect_direction:
             if seg is not None:
                 return seg.next_start != 0 and seg.end == addr and seg.taken_branch is not None
             return False
@@ -372,7 +381,7 @@ class BranchPredictionUnit:
             # fallback when the RAS underflows.
             return btb_target
         # Register-indirect.
-        if self.params.branch.perfect_indirect and seg is not None:
+        if self._perfect_indirect and seg is not None:
             if seg.end == addr and seg.next_start:
                 return seg.next_start
         predicted = self.ittage.predict(addr, hist)

@@ -74,6 +74,10 @@ class FetchUnit:
         self.decode_queue = decode_queue
         self.stats = stats
         self.prefetcher = prefetcher
+        # Per-cycle loop constants, bound once (hot path).
+        self._fetch_width = params.frontend.fetch_width
+        self._probe_width = params.frontend.fetch_probe_width
+        self._wrong_path_fills = params.frontend.wrong_path_fills
 
     # ------------------------------------------------------------------
     # Fill wakeups
@@ -95,8 +99,10 @@ class FetchUnit:
     # ------------------------------------------------------------------
     def probe_stage(self, cycle: int) -> None:
         """Oldest awaiting entries probe I-TLB + I-cache tags."""
-        probes = self.params.frontend.fetch_probe_width
-        wrong_path_fills = self.params.frontend.wrong_path_fills
+        probes = self._probe_width
+        wrong_path_fills = self._wrong_path_fills
+        demand_probe = self.memory.demand_probe
+        prefetcher = self.prefetcher
         for idx, entry in enumerate(self.ftq):
             if probes <= 0:
                 break
@@ -111,8 +117,7 @@ class FetchUnit:
                 entry.way = 0
                 continue
             probes -= 1
-            result = self.memory.demand_probe(entry.start, cycle, waiter=entry)
-            line = self.memory.l1i.line_of(entry.start)
+            result = demand_probe(entry.start, cycle, waiter=entry)
             if result.hit:
                 entry.state = STATE_READY
                 entry.way = result.way
@@ -127,23 +132,27 @@ class FetchUnit:
                 # MSHR full; retry next cycle.
                 self.stats.bump("probe_retry")
                 entry.missed = True
-            if self.prefetcher is not None:
+            if prefetcher is not None:
                 # Secondary misses merge into an in-flight transaction;
                 # the prefetcher sees one miss event per transaction.
-                self.prefetcher.on_access(line, result.hit or not result.primary, cycle)
+                line = self.memory.l1i.line_of(entry.start)
+                prefetcher.on_access(line, result.hit or not result.primary, cycle)
 
     # ------------------------------------------------------------------
     # Fetch stage
     # ------------------------------------------------------------------
     def fetch_stage(self, cycle: int) -> None:
         """Move instructions from ready head entries to the decode queue."""
-        budget = min(self.params.frontend.fetch_width, self.decode_queue.free_slots)
+        fetch_width = self._fetch_width
+        ftq = self.ftq
+        dq = self.decode_queue
+        budget = min(fetch_width, dq.free_slots)
         while budget > 0:
-            head = self.ftq.head
+            head = ftq.head
             if head is None:
                 break
             if head.state != STATE_READY or head.ready_cycle > cycle:
-                if self.decode_queue.total_instrs < self.params.frontend.fetch_width:
+                if dq.total_instrs < fetch_width:
                     head.starved_while_head = True
                 break
             if not head.pfc_checked:
@@ -156,7 +165,7 @@ class FetchUnit:
             head.consumed += take
             budget -= take
             if head.remaining == 0:
-                self.ftq.pop_head()
+                ftq.pop_head()
 
     def _push_chunk(self, entry: FTQEntry, take: int) -> None:
         """Hand ``take`` instructions of ``entry`` to the decode queue."""

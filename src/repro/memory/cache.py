@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccess:
     """Result of a cache probe."""
 
@@ -23,12 +23,35 @@ class CacheAccess:
     """Line address evicted by a fill (0 when no eviction happened)."""
 
 
+_MISS = CacheAccess(hit=False, way=-1, victim=0)
+"""Shared miss result: immutable, so one instance serves every miss."""
+
+
 class Cache:
     """Set-associative, LRU, line-presence cache.
 
     Sets are lists ordered most-recent-first; a list is tiny (the
     associativity), so MRU reordering is cheap.
+
+    ``probe`` sits on the per-cycle path (every FTQ entry's tag lookup
+    plus every prefetcher probe), so the set index uses a mask when
+    ``n_sets`` is a power of two and falls back to ``%`` otherwise.
     """
+
+    __slots__ = (
+        "name",
+        "assoc",
+        "line_bytes",
+        "n_sets",
+        "_line_shift",
+        "_line_mask",
+        "_set_mask",
+        "_sets",
+        "tag_probes",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
     def __init__(self, n_lines: int, assoc: int, line_bytes: int, name: str = "cache") -> None:
         if n_lines <= 0 or assoc <= 0:
@@ -42,6 +65,10 @@ class Cache:
         self.line_bytes = line_bytes
         self.n_sets = n_lines // assoc
         self._line_shift = line_bytes.bit_length() - 1
+        self._line_mask = ~(line_bytes - 1)
+        # Power-of-two set counts (every catalogue geometry) index with
+        # a mask; -1 selects the modulo fallback.
+        self._set_mask = self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else -1
         # Each set: list of line addresses, index 0 = MRU.
         self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
         self.tag_probes = 0
@@ -50,27 +77,34 @@ class Cache:
         self.evictions = 0
 
     def _set_index(self, addr: int) -> int:
+        if self._set_mask >= 0:
+            return (addr >> self._line_shift) & self._set_mask
         return (addr >> self._line_shift) % self.n_sets
 
     def line_of(self, addr: int) -> int:
         """Line address containing byte address ``addr``."""
-        return addr & ~(self.line_bytes - 1)
+        return addr & self._line_mask
 
     def probe(self, addr: int, count_tag_access: bool = True) -> CacheAccess:
         """Tag lookup without fill.  Promotes the line to MRU on a hit."""
         if count_tag_access:
             self.tag_probes += 1
-        line = self.line_of(addr)
-        ways = self._sets[self._set_index(addr)]
-        for way, held in enumerate(ways):
-            if held == line:
+        line = addr & self._line_mask
+        idx = addr >> self._line_shift
+        idx = idx & self._set_mask if self._set_mask >= 0 else idx % self.n_sets
+        ways = self._sets[idx]
+        if ways:
+            if ways[0] == line:  # MRU fast path: the common streaming case
                 self.hits += 1
-                if way:
+                return CacheAccess(hit=True, way=0, victim=0)
+            for way, held in enumerate(ways):
+                if held == line:
+                    self.hits += 1
                     ways.remove(line)
                     ways.insert(0, line)
-                return CacheAccess(hit=True, way=way, victim=0)
+                    return CacheAccess(hit=True, way=way, victim=0)
         self.misses += 1
-        return CacheAccess(hit=False, way=-1, victim=0)
+        return _MISS
 
     def contains(self, addr: int) -> bool:
         """Presence check with no side effects (no LRU update, no stats)."""

@@ -24,7 +24,7 @@ from repro.memory.mshr import MSHREntry, MSHRFile
 from repro.memory.tlb import TLB
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeResult:
     """Outcome of a demand tag probe."""
 

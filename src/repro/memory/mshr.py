@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding fill."""
 
@@ -25,6 +25,8 @@ class MSHREntry:
 
 class MSHRFile:
     """A bounded set of outstanding line-fill requests."""
+
+    __slots__ = ("n_entries", "_by_line", "allocations", "merges", "rejections")
 
     def __init__(self, n_entries: int) -> None:
         if n_entries <= 0:
@@ -86,10 +88,16 @@ class MSHRFile:
 
     def pop_ready(self, cycle: int) -> list[MSHREntry]:
         """Remove and return all entries whose fill completes by ``cycle``."""
-        ready = [e for e in self._by_line.values() if e.ready_cycle <= cycle]
+        by_line = self._by_line
+        if not by_line:  # fast path: this runs every simulated cycle
+            return []
+        ready = [e for e in by_line.values() if e.ready_cycle <= cycle]
+        if not ready:
+            return ready
         for entry in ready:
-            del self._by_line[entry.line]
-        ready.sort(key=lambda e: e.ready_cycle)
+            del by_line[entry.line]
+        if len(ready) > 1:
+            ready.sort(key=lambda e: e.ready_cycle)
         return ready
 
     def flush_waiters(self) -> None:

@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import tempfile
+
 import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache():
+    """Keep test simulations out of the real ``results/.cache``."""
+    import os
+
+    with tempfile.TemporaryDirectory(prefix="repro-test-cache-") as tmp:
+        old = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            yield
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = old
 
 from repro.common.params import SimParams
 from repro.isa.instructions import BranchKind, Instruction

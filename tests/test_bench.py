@@ -1,0 +1,81 @@
+"""Throughput benchmark (``repro bench``) smoke tests."""
+
+import json
+
+from repro.cli import main
+from repro.common.params import SimParams
+from repro.experiments.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_workload,
+    run_bench,
+    write_bench,
+)
+
+#: A deliberately conservative floor -- the optimised cycle loop runs at
+#: tens of thousands of instructions/sec even on loaded CI machines.
+MIN_INSTRS_PER_SEC = 2_000
+
+
+def fast():
+    return SimParams(warmup_instructions=1_000, sim_instructions=2_500)
+
+
+class TestBenchLibrary:
+    def test_bench_workload_fields(self):
+        row = bench_workload("spc_fp", fast(), repeats=1)
+        assert row["instructions"] == 3_500
+        # Retirement is chunk-granular, so the window can overshoot by
+        # up to a retire-width of instructions.
+        assert 2_500 <= row["measured_instructions"] <= 2_500 + 16
+        assert row["cycles"] > 0
+        assert row["ipc"] > 0
+        assert row["wall_seconds"] > 0
+        assert row["instructions_per_second"] > MIN_INSTRS_PER_SEC
+
+    def test_run_bench_payload(self):
+        payload = run_bench(workloads=["spc_fp", "srv_web"], params=fast(), repeats=1)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert set(payload["workloads"]) == {"spc_fp", "srv_web"}
+        agg = payload["aggregate"]
+        assert agg["total_instructions"] == 7_000
+        assert agg["instructions_per_second"] > MIN_INSTRS_PER_SEC
+        assert agg["geomean_instructions_per_second"] > MIN_INSTRS_PER_SEC
+
+    def test_write_bench_round_trips(self, tmp_path):
+        payload = run_bench(workloads=["spc_fp"], params=fast(), repeats=1)
+        out = tmp_path / "BENCH_core.json"
+        write_bench(payload, out)
+        assert json.loads(out.read_text()) == payload
+
+
+class TestBenchCli:
+    def test_bench_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        rc = main([
+            "bench",
+            "--workloads", "spc_fp",
+            "--warmup", "1000",
+            "--instructions", "2500",
+            "--repeats", "1",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "spc_fp" in text and "TOTAL" in text
+
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["config"]["warmup_instructions"] == 1_000
+        assert payload["aggregate"]["instructions_per_second"] > MIN_INSTRS_PER_SEC
+
+    def test_bench_unknown_workload(self, tmp_path):
+        rc = main(["bench", "--workloads", "nope", "--output", str(tmp_path / "b.json")])
+        assert rc == 2
+
+    def test_cache_cli(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        info_text = capsys.readouterr().out
+        assert str(tmp_path) in info_text
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out

@@ -109,6 +109,6 @@ class TestHistorySensitivity:
 
     def test_fold_cache_bounded(self):
         tage = make_tage()
-        for h in range(100):
+        for h in range(10_000):
             tage.predict(0x4000, h)
-        assert len(tage._fold_cache) <= 16
+        assert len(tage._fold_cache) <= 8192
