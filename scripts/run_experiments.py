@@ -19,6 +19,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.common.log import configure as configure_logging
 from repro.experiments.analysis import ALL_ABLATIONS
 from repro.experiments.cache import cache_stats
 from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
@@ -30,6 +31,7 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def main(argv: list[str]) -> int:
+    configure_logging()  # level from REPRO_LOG (default warning)
     names = argv or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:

@@ -1,30 +1,38 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
-    python -m repro run  --workload srv_web --ftq 24 --btb 8192 ...
+    python -m repro run   --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
     python -m repro report fig7 fig14     # regenerate paper experiments
     python -m repro bench                 # cycle-loop throughput -> BENCH_core.json
+    python -m repro trace --workload ...  # telemetry run -> JSONL + report
     python -m repro cache info|clear      # persistent result cache
 
 ``run`` simulates one (workload, configuration) pair and prints the
 metric summary; every microarchitectural knob the evaluation sweeps is
-exposed as a flag.  ``report`` honours ``REPRO_JOBS`` (parallel sweep
-workers) and the persistent result cache (``REPRO_CACHE_DIR``); see
-docs/PERFORMANCE.md.
+exposed as a flag (``--stats-json`` dumps the full raw counter set).
+``trace`` re-runs one point with the observability layer on and writes
+the event/time-series JSONL plus a markdown/JSON report (see
+docs/OBSERVABILITY.md).  ``report`` honours ``REPRO_JOBS`` (parallel
+sweep workers) and the persistent result cache (``REPRO_CACHE_DIR``);
+see docs/PERFORMANCE.md.  The global ``--log-level`` flag (or the
+``REPRO_LOG`` environment variable) controls diagnostic logging.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
+from pathlib import Path
 
+from repro.common.log import configure as configure_logging
+from repro.common.log import get_logger, level_names
 from repro.common.params import DirectionPredictorKind, HistoryPolicy, SimParams
 from repro.core.simulator import simulate
 from repro.experiments.analysis import ALL_ABLATIONS
 from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
-from repro.experiments.report import render_table
+from repro.experiments.report import render_table, render_trace_report
 
 ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
 from repro.experiments.bench import DEFAULT_OUTPUT as _BENCH_OUTPUT
@@ -33,6 +41,40 @@ from repro.experiments.cache import ResultCache, cache_stats
 from repro.prefetch import prefetcher_names
 from repro.trace.workloads import default_workloads
 
+log = get_logger("cli")
+
+DEFAULT_TRACE_DIR = "results/telemetry"
+"""Where ``repro trace`` writes its JSONL and reports by default."""
+
+
+def _add_sim_flags(cmd: argparse.ArgumentParser) -> None:
+    """Add the shared (workload, configuration) flags to a subcommand."""
+    cmd.add_argument("--workload", default="srv_web")
+    cmd.add_argument("--warmup", type=int, default=25_000)
+    cmd.add_argument("--instructions", type=int, default=60_000)
+    cmd.add_argument("--ftq", type=int, default=24, help="FTQ entries (2 disables FDP)")
+    cmd.add_argument("--no-pfc", action="store_true", help="disable post-fetch correction")
+    cmd.add_argument("--btb", type=int, default=8192, help="BTB entries")
+    cmd.add_argument("--btb-latency", type=int, default=2)
+    cmd.add_argument(
+        "--history",
+        choices=[p.value for p in HistoryPolicy],
+        default=HistoryPolicy.THR.value,
+        help="history management policy (Table V)",
+    )
+    cmd.add_argument(
+        "--direction",
+        choices=[k.value for k in DirectionPredictorKind],
+        default=DirectionPredictorKind.TAGE.value,
+    )
+    cmd.add_argument("--tage-kib", type=int, default=18, choices=[9, 18, 36])
+    cmd.add_argument("--prefetcher", default="none",
+                     help=f"none|perfect|{'|'.join(prefetcher_names())}")
+    cmd.add_argument("--predict-width", type=int, default=12)
+    cmd.add_argument("--max-taken", type=int, default=1)
+    cmd.add_argument("--perfect-btb", action="store_true")
+    cmd.add_argument("--perfect-direction", action="store_true")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
@@ -40,37 +82,40 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FDP frontend simulator (ISPASS 2021 reproduction)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=level_names(),
+        default=None,
+        help="diagnostic log verbosity (default: REPRO_LOG env var, else warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one workload/configuration")
-    run.add_argument("--workload", default="srv_web")
-    run.add_argument("--warmup", type=int, default=25_000)
-    run.add_argument("--instructions", type=int, default=60_000)
-    run.add_argument("--ftq", type=int, default=24, help="FTQ entries (2 disables FDP)")
-    run.add_argument("--no-pfc", action="store_true", help="disable post-fetch correction")
-    run.add_argument("--btb", type=int, default=8192, help="BTB entries")
-    run.add_argument("--btb-latency", type=int, default=2)
-    run.add_argument(
-        "--history",
-        choices=[p.value for p in HistoryPolicy],
-        default=HistoryPolicy.THR.value,
-        help="history management policy (Table V)",
-    )
-    run.add_argument(
-        "--direction",
-        choices=[k.value for k in DirectionPredictorKind],
-        default=DirectionPredictorKind.TAGE.value,
-    )
-    run.add_argument("--tage-kib", type=int, default=18, choices=[9, 18, 36])
-    run.add_argument("--prefetcher", default="none",
-                     help=f"none|perfect|{'|'.join(prefetcher_names())}")
-    run.add_argument("--predict-width", type=int, default=12)
-    run.add_argument("--max-taken", type=int, default=1)
-    run.add_argument("--perfect-btb", action="store_true")
-    run.add_argument("--perfect-direction", action="store_true")
+    _add_sim_flags(run)
     run.add_argument("--stats", action="store_true", help="dump all raw counters")
+    run.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        default=None,
+        help="write the full raw counter set (sorted) as JSON to PATH",
+    )
 
     sub.add_parser("list", help="list workloads and prefetchers")
+
+    trace = sub.add_parser(
+        "trace", help="simulate with full telemetry; write JSONL + trace report"
+    )
+    _add_sim_flags(trace)
+    trace.add_argument(
+        "--out", default=DEFAULT_TRACE_DIR, help=f"output directory (default {DEFAULT_TRACE_DIR})"
+    )
+    trace.add_argument(
+        "--stride", type=int, default=10_000, help="interval sample stride in instructions"
+    )
+    trace.add_argument("--events", type=int, default=8192, help="event ring capacity")
+    trace.add_argument(
+        "--format", choices=["md", "json", "both"], default="both", help="report format(s)"
+    )
 
     report = sub.add_parser("report", help="regenerate paper tables/figures")
     report.add_argument("experiments", nargs="*", help="subset (default: all)")
@@ -119,6 +164,7 @@ def _params_from_args(args: argparse.Namespace) -> SimParams:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Simulate one (workload, configuration) pair and print metrics."""
+    log.debug("simulating %s (%d+%d instructions)", args.workload, args.warmup, args.instructions)
     result = simulate(args.workload, _params_from_args(args))
     print(result.summary())
     exposure = result.miss_exposure()
@@ -129,6 +175,80 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.stats:
         for name in result.stats.names():
             print(f"  {name} = {result.stats.get(name)}")
+    if args.stats_json:
+        path = _write_stats_json(result, args.stats_json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _write_stats_json(result, output: str) -> Path:
+    """Dump a run's full raw counter set (sorted) as JSON."""
+    path = Path(output)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "workload": result.workload,
+        "label": result.label,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "counters": {name: result.stats.get(name) for name in result.stats.names()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Simulate one point with telemetry on; write JSONL + trace report."""
+    from repro.common.telemetry import Telemetry, TelemetryConfig
+
+    telemetry = Telemetry(
+        TelemetryConfig(interval_stride=args.stride, ring_capacity=args.events)
+    )
+    log.debug("tracing %s (stride=%d, ring=%d)", args.workload, args.stride, args.events)
+    result = simulate(args.workload, _params_from_args(args), telemetry=telemetry)
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    base = args.workload
+    paths = [
+        telemetry.write_events_jsonl(outdir / f"{base}.events.jsonl"),
+        telemetry.write_timeseries_jsonl(outdir / f"{base}.timeseries.jsonl"),
+    ]
+    summary = telemetry.summary(result)
+    if args.format in ("json", "both"):
+        path = outdir / f"{base}.trace.json"
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    if args.format in ("md", "both"):
+        path = outdir / f"{base}.trace.md"
+        path.write_text(render_trace_report(summary))
+        paths.append(path)
+
+    print(result.summary())
+    accounting = summary["cycle_accounting"]
+    fractions = summary["cycle_accounting_fraction"]
+    print(
+        render_table(
+            f"Cycle accounting: {result.workload} "
+            f"({sum(accounting.values())} of {result.cycles} cycles)",
+            ["bucket", "cycles", "share"],
+            [
+                (name, count, f"{100.0 * fractions[name]:.1f}%")
+                for name, count in accounting.items()
+            ],
+        )
+    )
+    prefetch = summary["prefetch"]
+    if prefetch["issued"]:
+        print(
+            f"prefetch: issued={prefetch['issued']} timely={prefetch['timely']} "
+            f"late={prefetch['late']} evicted={prefetch['unused_evicted']} "
+            f"accuracy={100.0 * prefetch['accuracy']:.1f}% "
+            f"coverage={100.0 * prefetch['coverage']:.1f}% "
+            f"timeliness={100.0 * prefetch['timeliness']:.1f}%"
+        )
+    for path in paths:
+        print(f"wrote {path}")
     return 0
 
 
@@ -147,7 +267,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     names = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        log.error("unknown experiments: %s", ", ".join(unknown))
         return 2
     for name in names:
         data = ALL_EXPERIMENTS[name]()
@@ -176,7 +296,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         known = {w.name for w in default_workloads()}
         unknown = [n for n in workloads if n not in known]
         if unknown:
-            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            log.error("unknown workloads: %s", ", ".join(unknown))
             return 2
     params = default_params()
     if args.warmup is not None:
@@ -218,9 +338,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     handlers = {
         "run": cmd_run,
         "list": cmd_list,
+        "trace": cmd_trace,
         "report": cmd_report,
         "bench": cmd_bench,
         "cache": cmd_cache,

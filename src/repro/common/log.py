@@ -1,0 +1,80 @@
+"""Package-wide stdlib logging.
+
+Every module that wants diagnostics asks for a child of the single
+``repro`` logger::
+
+    from repro.common.log import get_logger
+    log = get_logger(__name__)
+    log.debug("fanning %d simulations across %d workers", n, jobs)
+
+Nothing is printed until :func:`configure` runs (the CLI calls it with
+the ``--log-level`` flag; the ``REPRO_LOG`` environment variable is the
+fallback, default ``warning``).  Library use without configuration
+falls through to the stdlib's last-resort handler, so ``repro`` stays
+quiet when embedded.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+ENV_VAR = "REPRO_LOG"
+"""Environment variable naming the default log level (e.g. ``debug``)."""
+
+ROOT_NAME = "repro"
+"""Name of the package root logger all module loggers descend from."""
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_configured = False
+
+
+def level_names() -> list[str]:
+    """Accepted level names, for CLI ``choices``."""
+    return list(_LEVELS)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    ``name`` may be a module ``__name__`` (already rooted at ``repro``)
+    or a short suffix like ``"runner"``; ``None`` returns the root.
+    """
+    if not name or name == ROOT_NAME:
+        return logging.getLogger(ROOT_NAME)
+    if name.startswith(ROOT_NAME + ".") :
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def resolve_level(level: str | None = None) -> int:
+    """Map a level name (or ``REPRO_LOG``, or the default) to an int."""
+    raw = (level or os.environ.get(ENV_VAR) or "warning").strip().lower()
+    try:
+        return _LEVELS[raw]
+    except KeyError:
+        raise ValueError(f"unknown log level {raw!r}; expected one of {list(_LEVELS)}") from None
+
+
+def configure(level: str | None = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger and set its level.
+
+    Idempotent: repeated calls only adjust the level, they never stack
+    handlers.  Returns the configured root logger.
+    """
+    global _configured
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(resolve_level(level))
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    return root

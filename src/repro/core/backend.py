@@ -205,6 +205,8 @@ class Backend:
         self.stats = stats
         self.flush_callback = flush_callback
         self.committed = 0
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
         self._retire_width = params.core.retire_width
 
     def cycle(self, cycle: int) -> None:
@@ -248,4 +250,8 @@ class Backend:
         self.stats.bump(f"mispredict_{fault.kind_label}")
         if fault.branch_kind is BranchKind.COND_DIRECT:
             self.stats.bump("cond_mispredictions")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "flush", pc=fault.pc, fault=fault.kind_label, branch=fault.branch_kind.name
+            )
         self.flush_callback(fault, cycle)

@@ -3,7 +3,10 @@
 :class:`RunResult` is the uniform output of one simulation: IPC plus
 the derived metrics every figure of the paper reports (branch MPKI,
 starvation cycles per kilo-instruction, I-cache tag accesses per
-kilo-instruction, miss-exposure classification).
+kilo-instruction, miss-exposure classification).  Telemetry-enabled
+runs additionally expose top-down cycle accounting
+(:meth:`RunResult.cycle_accounting`) and prefetch-usefulness terminal
+states with accuracy / coverage / timeliness derived metrics.
 
 :func:`ftq_storage_bits` reproduces Table III: the FTQ is the only
 hardware FDP adds, and with the paper's field widths a 24-entry FTQ
@@ -18,6 +21,19 @@ from dataclasses import dataclass, field
 
 from repro.common.params import SimParams
 from repro.common.stats import StatSet
+
+CYCLE_ACCOUNTING_BUCKETS = (
+    "retiring",
+    "fetch_bandwidth",
+    "icache_miss",
+    "ftq_empty",
+    "btb_miss_resteer",
+    "pfc_resteer",
+    "backend_flush",
+)
+"""Top-down cycle buckets, mirrored from :mod:`repro.common.telemetry`
+(the authoritative definitions live there; this tuple exists so reading
+a cached :class:`RunResult` does not import the telemetry layer)."""
 
 # Table III field widths (bits per FTQ entry).
 FTQ_FIELD_BITS = {
@@ -107,6 +123,80 @@ class RunResult:
         if total == 0:
             return 0.0
         return (exposure["partially_exposed"] + exposure["fully_exposed"]) / total
+
+    # ------------------------------------------------------------------
+    # Telemetry-derived views
+    # ------------------------------------------------------------------
+    def cycle_accounting(self) -> dict[str, int]:
+        """Top-down cycle buckets (telemetry runs; all zero otherwise).
+
+        On a telemetry-enabled run the values sum exactly to
+        :attr:`cycles` -- every measured cycle is attributed to one
+        bucket, by construction.
+        """
+        return {b: self.stats.get(f"cyc_{b}") for b in CYCLE_ACCOUNTING_BUCKETS}
+
+    @property
+    def has_cycle_accounting(self) -> bool:
+        """True when this run carried the cycle-accounting telemetry."""
+        return any(self.stats.get(f"cyc_{b}") for b in CYCLE_ACCOUNTING_BUCKETS)
+
+    def cycle_accounting_fractions(self) -> dict[str, float]:
+        """Cycle buckets normalised by their sum (zeros when absent)."""
+        buckets = self.cycle_accounting()
+        total = sum(buckets.values())
+        if total == 0:
+            return {b: 0.0 for b in buckets}
+        return {b: v / total for b, v in buckets.items()}
+
+    def prefetch_usefulness(self) -> dict[str, int]:
+        """Terminal-state classification of issued prefetches.
+
+        ``timely``/``late``/``unused_evicted`` come from the always-on
+        hierarchy counters; ``in_flight_at_end``/``resident_untouched_at_end``
+        are recorded by telemetry at the end of the run (zero on
+        untraced runs).  ``redundant_unissued`` counts prefetch requests
+        that never issued because the line was already resident or in
+        flight.
+        """
+        s = self.stats
+        return {
+            "issued": s.get("prefetch_issued"),
+            "timely": s.get("prefetch_useful"),
+            "late": s.get("prefetch_late"),
+            "unused_evicted": s.get("prefetch_useless"),
+            "in_flight_at_end": s.get("prefetch_inflight_end"),
+            "resident_untouched_at_end": s.get("prefetch_resident_end"),
+            "redundant_unissued": s.get("prefetch_redundant") + s.get("prefetch_inflight_merge"),
+        }
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches a demand eventually wanted."""
+        s = self.stats
+        issued = s.get("prefetch_issued")
+        if issued == 0:
+            return 0.0
+        return (s.get("prefetch_useful") + s.get("prefetch_late")) / issued
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of would-be demand misses the prefetcher hid fully."""
+        s = self.stats
+        timely = s.get("prefetch_useful")
+        denom = timely + s.get("l1i_miss")
+        if denom == 0:
+            return 0.0
+        return timely / denom
+
+    @property
+    def prefetch_timeliness(self) -> float:
+        """Among useful prefetches, the fraction that arrived in time."""
+        s = self.stats
+        useful = s.get("prefetch_useful") + s.get("prefetch_late")
+        if useful == 0:
+            return 0.0
+        return s.get("prefetch_useful") / useful
 
     def summary(self) -> str:
         return (

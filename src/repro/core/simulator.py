@@ -16,6 +16,12 @@ work produced in the same cycle):
    cycle: a shallow FTQ then limits *run-ahead*, not steady-state fetch
    throughput, matching the paper's no-FDP baseline semantics
 6. dedicated prefetcher tick
+
+Passing a :class:`repro.common.telemetry.Telemetry` object switches the
+run onto an instrumented copy of the cycle loop that feeds per-cycle
+attribution, interval sampling and the event trace; without one the
+original tight loop runs untouched, so untraced results are
+bit-identical to an uninstrumented build.
 """
 
 from __future__ import annotations
@@ -48,7 +54,13 @@ _CYCLE_GUARD_FACTOR = 400
 class Simulator:
     """One simulated core bound to one program + oracle stream."""
 
-    def __init__(self, params: SimParams, program: Program, stream: OracleStream) -> None:
+    def __init__(
+        self,
+        params: SimParams,
+        program: Program,
+        stream: OracleStream,
+        telemetry=None,
+    ) -> None:
         if not stream.segments:
             raise ValueError("oracle stream is empty")
         total_needed = params.warmup_instructions + params.sim_instructions
@@ -150,6 +162,11 @@ class Simulator:
         self._measuring = False
         self._measure_start_cycle = 0
         self._measure_start_committed = 0
+        self.warmup_stats: StatSet | None = None
+        """Warmup-window counters, stashed at the measurement boundary."""
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self)
 
     def _prewarm_l2(self, program: Program) -> None:
         """Install the code image into the L2 before simulation.
@@ -195,6 +212,7 @@ class Simulator:
             self.trainer.arch_hist,
             self.trainer.seg_idx,
             cycle + self.params.core.mispredict_penalty,
+            reason=f"flush:{fault.kind_label}",
         )
 
     # ------------------------------------------------------------------
@@ -205,6 +223,7 @@ class Simulator:
         self._measure_start_cycle = self.cycle
         self._measure_start_committed = self.backend.committed
         fresh = StatSet()
+        self.warmup_stats = self.stats
         self.stats = fresh
         self.memory.set_stats(fresh)
         self.bpu.stats = fresh
@@ -223,11 +242,35 @@ class Simulator:
         target = params.warmup_instructions + params.sim_instructions
         warmup = params.warmup_instructions
         guard = _CYCLE_GUARD_FACTOR * target + 100_000
-        # The cycle loop is the simulator's hot path: bind the per-stage
-        # methods and collaborating objects once so each iteration pays
-        # local loads instead of repeated attribute lookups.  Bound
-        # methods stay valid across the measurement-boundary stats swap
-        # (only ``.stats`` attributes are replaced, never the objects).
+        if self.telemetry is not None:
+            self._loop_instrumented(target, warmup, guard)
+        else:
+            self._loop(target, warmup, guard)
+        if not self._measuring:
+            self._begin_measurement()
+        instructions = self.backend.committed - self._measure_start_committed
+        cycles = self.cycle - self._measure_start_cycle
+        result = RunResult(
+            workload=workload_name,
+            label=params.label(),
+            params=params,
+            instructions=instructions,
+            cycles=max(cycles, 1),
+            stats=self.stats,
+        )
+        if self.telemetry is not None:
+            self.telemetry.finalize(self, result)
+        return result
+
+    def _loop(self, target: int, warmup: int, guard: int) -> None:
+        """The uninstrumented cycle loop (the simulator's hot path).
+
+        Binds the per-stage methods and collaborating objects once so
+        each iteration pays local loads instead of repeated attribute
+        lookups.  Bound methods stay valid across the
+        measurement-boundary stats swap (only ``.stats`` attributes are
+        replaced, never the objects).
+        """
         backend = self.backend
         ftq = self.ftq
         memory_tick = self.memory.tick
@@ -259,24 +302,62 @@ class Simulator:
                     f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
                 )
         self.cycle = cycle
-        if not self._measuring:
-            self._begin_measurement()
-        instructions = self.backend.committed - self._measure_start_committed
-        cycles = self.cycle - self._measure_start_cycle
-        return RunResult(
-            workload=workload_name,
-            label=params.label(),
-            params=params,
-            instructions=instructions,
-            cycles=max(cycles, 1),
-            stats=self.stats,
-        )
+
+    def _loop_instrumented(self, target: int, warmup: int, guard: int) -> None:
+        """The telemetry variant of :meth:`_loop`.
+
+        Identical simulation semantics -- telemetry only *observes* --
+        plus, per cycle: the hub's clock (``tel.now``) is refreshed
+        before any stage can emit an event, and ``tel.tick`` runs right
+        after the backend stage with the cycle's correct-path retire
+        count, which is all cycle accounting and interval sampling need.
+        """
+        tel = self.telemetry
+        backend = self.backend
+        ftq = self.ftq
+        memory_tick = self.memory.tick
+        complete_fills = self.fetch.complete_fills
+        backend_cycle = backend.cycle
+        fetch_stage = self.fetch.fetch_stage
+        bpu_cycle = self.bpu.cycle
+        probe_stage = self.fetch.probe_stage
+        prefetcher = self.prefetcher
+        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
+        tel_tick = tel.tick
+        cycle = self.cycle
+        while backend.committed < target:
+            tel.now = cycle
+            fills = memory_tick(cycle)
+            if fills:
+                complete_fills(fills, cycle)
+            before = backend.committed
+            backend_cycle(cycle)
+            if not self._measuring and backend.committed >= warmup:
+                self.cycle = cycle
+                self._begin_measurement()
+            tel_tick(cycle, backend.committed - before, self._measuring)
+            fetch_stage(cycle)
+            bpu_cycle(cycle, ftq)
+            probe_stage(cycle)
+            if prefetcher_cycle is not None:
+                prefetcher_cycle(cycle)
+            cycle += 1
+            if cycle > guard:
+                self.cycle = cycle
+                raise RuntimeError(
+                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
+                )
+        self.cycle = cycle
 
 
-def simulate(workload: WorkloadSpec | str, params: SimParams) -> RunResult:
-    """Convenience wrapper: generate the trace and run one simulation."""
+def simulate(workload: WorkloadSpec | str, params: SimParams, telemetry=None) -> RunResult:
+    """Convenience wrapper: generate the trace and run one simulation.
+
+    ``telemetry`` (a :class:`repro.common.telemetry.Telemetry`) opts the
+    run into the instrumented cycle loop; ``None`` keeps the fast path.
+    """
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(workload, n)
-    sim = Simulator(params, program, stream)
+    sim = Simulator(params, program, stream, telemetry=telemetry)
     name = workload if isinstance(workload, str) else workload.name
     return sim.run(workload_name=name)

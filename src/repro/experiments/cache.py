@@ -132,6 +132,7 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
+                bytes_read = fh.tell()
         except FileNotFoundError:
             self.stats.bump("cache_disk_miss")
             return None
@@ -149,6 +150,7 @@ class ResultCache:
             path.unlink(missing_ok=True)
             return None
         self.stats.bump("cache_disk_hit")
+        self.stats.bump("cache_bytes_read", bytes_read)
         return payload["result"]
 
     def put(self, key: str, result: RunResult) -> None:
@@ -157,9 +159,9 @@ class ResultCache:
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         payload = {"schema": SIM_SCHEMA_VERSION, "key": key, "result": result}
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            with tmp.open("wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write_bytes(blob)
             tmp.replace(path)
         except OSError:
             # Caching is best-effort; a full/read-only disk must not
@@ -167,6 +169,7 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
             return
         self.stats.bump("cache_store")
+        self.stats.bump("cache_bytes_written", len(blob))
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.common.log import get_logger
 from repro.common.params import SimParams
 from repro.common.stats import amean, geomean
 from repro.core.metrics import RunResult
@@ -31,6 +32,8 @@ from repro.trace.workloads import make_trace
 
 _CACHE: dict[str, RunResult] = {}
 """In-process memo, keyed by the stable content hash (run_key)."""
+
+log = get_logger("experiments.runner")
 
 
 def _disk() -> ResultCache | None:
@@ -110,11 +113,17 @@ def run_points(
                 continue
         pending[key] = (workload, params)
 
+    log.debug(
+        "run_points: %d point(s) resolved from cache, %d pending",
+        len(resolved),
+        len(pending),
+    )
     if not pending:
         return resolved
 
     CACHE_STATS.bump("sim_runs", len(pending))
     if jobs > 1 and len(pending) > 1:
+        log.debug("fanning %d simulation(s) across %d worker(s)", len(pending), jobs)
         # Pre-generate the needed traces so forked workers inherit warm
         # lru_caches instead of regenerating per process.
         for workload, params in pending.values():

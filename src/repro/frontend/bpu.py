@@ -177,6 +177,12 @@ class BranchPredictionUnit:
         self.ras = ReturnAddressStack(params.branch.ras_entries)
         self.loop = None
         """Optional LoopPredictor; attached by the simulator when enabled."""
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
+        self.last_resteer_reason = ""
+        """Cause label of the most recent re-steer (cycle accounting)."""
+        self.last_resteer_until = 0
+        """Cycle at which the most recent re-steer stall expires."""
 
         self.pc = stream.segments[0].start if stream.segments else program.entry
         self.hist = 0
@@ -225,13 +231,27 @@ class BranchPredictionUnit:
     # ------------------------------------------------------------------
     # Re-steer (backend flush, PFC, history fixup)
     # ------------------------------------------------------------------
-    def resteer(self, pc: int, hist: int, cursor_seg: int, ready_cycle: int) -> None:
-        """Restart prediction at ``pc``; the caller restores the RAS."""
+    def resteer(
+        self, pc: int, hist: int, cursor_seg: int, ready_cycle: int, reason: str = ""
+    ) -> None:
+        """Restart prediction at ``pc``; the caller restores the RAS.
+
+        ``reason`` labels the cause (``flush:<fault>`` from a backend
+        flush, ``pfc``/``fixup`` from pre-decode) so cycle accounting
+        can attribute the refill stall that follows; it has no
+        architectural effect.
+        """
         self.pc = pc
         self.hist = hist
         self.cursor_seg = cursor_seg
         # The prediction pipeline must refill through the BTB.
-        self.stall_until = max(self.stall_until, ready_cycle + self.params.branch.btb_latency)
+        until = ready_cycle + self.params.branch.btb_latency
+        self.stall_until = max(self.stall_until, until)
+        self.last_resteer_reason = reason
+        self.last_resteer_until = until
+        tel = self.telemetry
+        if tel is not None:
+            tel.event("resteer", pc=pc, reason=reason or "unspecified", until=until)
 
     # ------------------------------------------------------------------
     # Entry formation

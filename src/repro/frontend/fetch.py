@@ -74,6 +74,8 @@ class FetchUnit:
         self.decode_queue = decode_queue
         self.stats = stats
         self.prefetcher = prefetcher
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
         # Per-cycle loop constants, bound once (hot path).
         self._fetch_width = params.frontend.fetch_width
         self._probe_width = params.frontend.fetch_probe_width
@@ -226,17 +228,26 @@ class FetchUnit:
                     self.stats.bump("pfc_uncorrectable_indirect")
                     continue
                 self.stats.bump("pfc_case1")
+                if self.telemetry is not None:
+                    self.telemetry.event("pfc", case=1, pc=p, target=target)
                 self._resteer(entry, p, True, target, kind, cycle, self.params.core.pfc_resteer_penalty)
                 return
             # Conditional, undetected.
             hint = self._hint(entry, p)
             if hint and pfc_on:
                 self.stats.bump("pfc_case2")
+                if self.telemetry is not None:
+                    self.telemetry.event("pfc", case=2, pc=p, target=instr.target)
                 self._resteer(entry, p, True, instr.target, kind, cycle, self.params.core.pfc_resteer_penalty)
                 return
             if not hint and fixup_on:
                 self.stats.bump("ghr_fixup_flush")
-                self._resteer(entry, p, False, 0, kind, cycle, self.params.core.history_fixup_penalty)
+                if self.telemetry is not None:
+                    self.telemetry.event("fixup", pc=p)
+                self._resteer(
+                    entry, p, False, 0, kind, cycle,
+                    self.params.core.history_fixup_penalty, reason="fixup",
+                )
                 return
 
     def _pfc_target(self, instr, entry: FTQEntry) -> int | None:
@@ -267,6 +278,7 @@ class FetchUnit:
         kind: BranchKind,
         cycle: int,
         penalty: int,
+        reason: str = "pfc",
     ) -> None:
         """Truncate ``entry`` at ``p``, flush younger work, restart the BPU."""
         old_fault = entry.fault
@@ -316,5 +328,5 @@ class FetchUnit:
         elif taken and kind.is_return:
             self.bpu.ras.pop()
 
-        self.bpu.resteer(next_pc, hist, cursor, cycle + penalty)
+        self.bpu.resteer(next_pc, hist, cursor, cycle + penalty, reason=reason)
         self.stats.bump("frontend_resteer")

@@ -117,6 +117,8 @@ class FTQ:
             raise ValueError("FTQ needs at least one entry")
         self.n_entries = n_entries
         self._entries: deque[FTQEntry] = deque()
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -139,14 +141,30 @@ class FTQ:
         if self.full:
             raise RuntimeError("push into a full FTQ")
         self._entries.append(entry)
+        tel = self.telemetry
+        if tel is not None:
+            tel.event(
+                "ftq_push",
+                uid=entry.uid,
+                start=entry.start,
+                n=entry.n_instrs,
+                taken=entry.pred_taken,
+            )
 
     def pop_head(self) -> FTQEntry:
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        tel = self.telemetry
+        if tel is not None:
+            tel.event("ftq_pop", uid=entry.uid, start=entry.start, missed=entry.missed)
+        return entry
 
     def flush_all(self) -> int:
         """Backend flush: discard everything."""
         n = len(self._entries)
         self._entries.clear()
+        tel = self.telemetry
+        if tel is not None and n:
+            tel.event("ftq_flush", n=n)
         return n
 
     def flush_younger_than(self, entry: FTQEntry) -> int:
@@ -157,4 +175,7 @@ class FTQ:
             count += 1
         if not self._entries:
             raise ValueError("reference entry not in FTQ")
+        tel = self.telemetry
+        if tel is not None and count:
+            tel.event("ftq_trim", behind_uid=entry.uid, n=count)
         return count

@@ -150,6 +150,19 @@ class Cache:
         """Number of lines currently resident."""
         return sum(len(ways) for ways in self._sets)
 
+    def snapshot(self) -> dict[str, int | float]:
+        """Point-in-time counter snapshot for telemetry (no side effects)."""
+        probes = self.tag_probes
+        return {
+            "tag_probes": probes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "occupancy": self.occupancy,
+            "capacity_lines": self.n_sets * self.assoc,
+            "hit_rate": self.hits / (self.hits + self.misses) if self.hits + self.misses else 0.0,
+        }
+
     def resident_lines(self) -> set[int]:
         """All resident line addresses (for tests and invariants)."""
         out: set[int] = set()

@@ -54,6 +54,13 @@ class InstructionMemory:
         """When True every demand access hits (Fig 1 / Fig 6a 'Perfect'
         prefetching); requests still issue so traffic is accounted."""
         self._prefetched_untouched: set[int] = set()
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
+
+    @property
+    def untouched_prefetched_lines(self) -> int:
+        """Prefetched lines resident in the L1I that no demand has touched."""
+        return len(self._prefetched_untouched)
 
     # ------------------------------------------------------------------
     # Demand path
@@ -133,6 +140,8 @@ class InstructionMemory:
             is_prefetch=False,
             waiter=waiter,
         )
+        if self.telemetry is not None:
+            self.telemetry.event("demand_miss", line=line, latency=entry.ready_cycle - cycle)
         return ProbeResult(hit=False, issued=True, way=-1, ready_cycle=entry.ready_cycle)
 
     # ------------------------------------------------------------------
@@ -167,6 +176,8 @@ class InstructionMemory:
             self.stats.bump("prefetch_mshr_reject")
             return False
         self.stats.bump("prefetch_issued")
+        if self.telemetry is not None:
+            self.telemetry.event("prefetch_issue", line=line, latency=entry.ready_cycle - cycle)
         return True
 
     # ------------------------------------------------------------------
@@ -183,6 +194,13 @@ class InstructionMemory:
             if entry.is_prefetch:
                 self.stats.bump("prefetch_fill")
                 self._prefetched_untouched.add(entry.line)
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "fill",
+                    line=entry.line,
+                    prefetch=entry.is_prefetch,
+                    wait=cycle - entry.issue_cycle,
+                )
         return completed
 
     def _fill_latency(self, line: int) -> int:

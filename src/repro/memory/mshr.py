@@ -26,7 +26,7 @@ class MSHREntry:
 class MSHRFile:
     """A bounded set of outstanding line-fill requests."""
 
-    __slots__ = ("n_entries", "_by_line", "allocations", "merges", "rejections")
+    __slots__ = ("n_entries", "_by_line", "allocations", "merges", "rejections", "peak_occupancy")
 
     def __init__(self, n_entries: int) -> None:
         if n_entries <= 0:
@@ -36,6 +36,8 @@ class MSHRFile:
         self.allocations = 0
         self.merges = 0
         self.rejections = 0
+        self.peak_occupancy = 0
+        """High-water mark of simultaneously outstanding fills."""
 
     def __len__(self) -> int:
         return len(self._by_line)
@@ -84,7 +86,13 @@ class MSHRFile:
             entry.waiters.append(waiter)
         self._by_line[line] = entry
         self.allocations += 1
+        if len(self._by_line) > self.peak_occupancy:
+            self.peak_occupancy = len(self._by_line)
         return entry
+
+    def inflight_prefetches(self) -> int:
+        """Outstanding fills still marked as prefetches (not yet demanded)."""
+        return sum(1 for e in self._by_line.values() if e.is_prefetch)
 
     def pop_ready(self, cycle: int) -> list[MSHREntry]:
         """Remove and return all entries whose fill completes by ``cycle``."""

@@ -48,6 +48,10 @@ class Prefetcher:
         self.line_bytes = params.memory.line_bytes
         self._queue: deque[int] = deque()
         self._queued: set[int] = set()
+        self.telemetry = None
+        """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
+        self.peak_queue = 0
+        """High-water mark of the issue queue (telemetry/introspection)."""
 
     # ------------------------------------------------------------------
     # Event hooks (no-ops by default)
@@ -71,6 +75,10 @@ class Prefetcher:
             return
         self._queue.append(line)
         self._queued.add(line)
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
+        if self.telemetry is not None:
+            self.telemetry.event("prefetch_enqueue", line=line, prefetcher=self.name)
 
     def cycle(self, cycle: int) -> None:
         """Drain up to :data:`MAX_ISSUE_PER_CYCLE` queued prefetches."""

@@ -10,9 +10,11 @@ import repro
 MODULES = [
     "repro",
     "repro.common.bits",
+    "repro.common.log",
     "repro.common.params",
     "repro.common.rng",
     "repro.common.stats",
+    "repro.common.telemetry",
     "repro.isa.instructions",
     "repro.trace.behaviors",
     "repro.trace.cfg",
@@ -47,6 +49,8 @@ MODULES = [
     "repro.core.metrics",
     "repro.core.simulator",
     "repro.experiments.analysis",
+    "repro.experiments.bench",
+    "repro.experiments.cache",
     "repro.experiments.configs",
     "repro.experiments.figures",
     "repro.experiments.report",
