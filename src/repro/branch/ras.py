@@ -13,6 +13,8 @@ from __future__ import annotations
 class ReturnAddressStack:
     """Bounded circular return-address stack."""
 
+    __slots__ = ("n_entries", "_stack", "pushes", "pops", "overflows", "underflows")
+
     def __init__(self, n_entries: int = 64) -> None:
         if n_entries <= 0:
             raise ValueError("RAS needs at least one entry")

@@ -131,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--instructions", type=int, default=None, help="measured instructions")
     bench.add_argument("--repeats", type=int, default=1, help="best-of-N repeats per workload")
     bench.add_argument("--output", default=None, help=f"JSON path (default {_BENCH_OUTPUT})")
+    bench.add_argument(
+        "--fast-warmup",
+        action="store_true",
+        help="use functional fast-forward warmup (warmup_mode=functional)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="BENCH_JSON",
+        default=None,
+        help="compare against a previous BENCH_core.json; exit non-zero "
+        "if the aggregate rate regressed by more than 20%%",
+    )
 
     cache = sub.add_parser("cache", help="manage the persistent result cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -303,7 +315,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         params = params.replace(warmup_instructions=args.warmup)
     if args.instructions is not None:
         params = params.replace(sim_instructions=args.instructions)
-    payload = run_bench(workloads=workloads, params=params, repeats=args.repeats)
+    payload = run_bench(
+        workloads=workloads,
+        params=params,
+        repeats=args.repeats,
+        fast_warmup=args.fast_warmup,
+    )
     path = write_bench(payload, args.output or _BENCH_OUTPUT)
     for name, row in payload["workloads"].items():
         print(
@@ -313,6 +330,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
     agg = payload["aggregate"]
     print(f"{'TOTAL':14s} {agg['instructions_per_second']:>12,.0f} instrs/sec")
     print(f"wrote {path}")
+    if args.baseline:
+        return _bench_compare(payload, args.baseline)
+    return 0
+
+
+def _bench_compare(payload: dict, baseline_path: str) -> int:
+    """Print the --baseline comparison; non-zero exit on regression."""
+    from repro.experiments.bench import compare_bench
+
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        log.error("cannot read baseline %s: %s", baseline_path, exc)
+        return 2
+    cmp = compare_bench(payload, baseline)
+    print(f"vs baseline {baseline_path}:")
+    for name, delta in cmp["workloads"].items():
+        shown = f"{100.0 * delta:+.1f}%" if delta is not None else "n/a"
+        print(f"  {name:14s} {shown}")
+    agg = cmp["aggregate"]
+    shown = f"{100.0 * agg:+.1f}%" if agg is not None else "n/a"
+    print(f"  {'AGGREGATE':14s} {shown}")
+    if cmp["regressed"]:
+        log.error(
+            "aggregate throughput regressed more than %.0f%% vs baseline",
+            100.0 * cmp["threshold"],
+        )
+        return 1
     return 0
 
 

@@ -210,6 +210,24 @@ class CoreParams:
             raise ValueError("mispredict_penalty must be positive")
 
 
+WARMUP_MODES = ("auto", "cycle", "functional")
+"""Valid :attr:`SimParams.warmup_mode` values.
+
+* ``cycle``      -- warm through the full cycle-accurate pipeline (the
+  original behaviour; exact but pays pipeline modelling for a window
+  that is never measured).
+* ``functional`` -- replay the oracle stream in commit order, training
+  BTB/direction/ITTAGE/loop/RAS/history and warming L1I/L2/I-TLB
+  without ticking the FTQ, fetch unit, backend or MSHRs, then start the
+  cycle-accurate loop at the measurement boundary (see
+  :mod:`repro.core.warmup`).
+* ``auto``       -- resolve by call site: ``cycle`` for the direct
+  simulator API, ``functional`` under the sweep runner (which resolves
+  the mode *before* computing cache keys, so the two never share cache
+  entries).
+"""
+
+
 @dataclass(frozen=True)
 class SimParams:
     """Top-level bundle for one simulation run."""
@@ -222,10 +240,16 @@ class SimParams:
     sim_instructions: int = 60_000
     prefetcher: str = "none"
     """Registered name of the L1I prefetcher to attach (see repro.prefetch)."""
+    warmup_mode: str = "auto"
+    """How the warmup window is simulated (see :data:`WARMUP_MODES`)."""
 
     def __post_init__(self) -> None:
         if self.warmup_instructions < 0 or self.sim_instructions <= 0:
             raise ValueError("instruction windows must be sensible")
+        if self.warmup_mode not in WARMUP_MODES:
+            raise ValueError(
+                f"warmup_mode must be one of {WARMUP_MODES}, got {self.warmup_mode!r}"
+            )
 
     def replace(self, **kwargs) -> "SimParams":
         """Return a copy with top-level fields replaced."""

@@ -42,6 +42,8 @@ class _Chunk:
 class DecodeQueue:
     """Bounded FIFO of fetched instruction groups."""
 
+    __slots__ = ("capacity", "_chunks", "total_instrs")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("decode queue capacity must be positive")
@@ -85,6 +87,25 @@ class DecodeQueue:
 
 class CommitTrainer:
     """Replays committed instructions into the predictors, in order."""
+
+    __slots__ = (
+        "stream",
+        "mgr",
+        "btb",
+        "direction",
+        "ittage",
+        "stats",
+        "train_direction",
+        "btb_insert_hook",
+        "loop",
+        "arch_ras",
+        "arch_hist",
+        "seg_idx",
+        "pos",
+        "br_ptr",
+        "committed",
+        "branch_listener",
+    )
 
     def __init__(
         self,
@@ -190,6 +211,17 @@ class CommitTrainer:
 
 class Backend:
     """Ideal-width consumer with misprediction penalties."""
+
+    __slots__ = (
+        "params",
+        "dq",
+        "trainer",
+        "stats",
+        "flush_callback",
+        "committed",
+        "telemetry",
+        "_retire_width",
+    )
 
     def __init__(
         self,

@@ -38,6 +38,7 @@ from repro.common.params import DirectionPredictorKind, SimParams
 from repro.common.stats import StatSet
 from repro.core.backend import Backend, CommitTrainer, DecodeQueue
 from repro.core.metrics import RunResult
+from repro.core.warmup import functional_warmup
 from repro.frontend.bpu import BranchPredictionUnit
 from repro.frontend.fetch import FetchUnit
 from repro.frontend.ftq import FTQ
@@ -168,6 +169,13 @@ class Simulator:
         if telemetry is not None:
             telemetry.attach(self)
 
+    def _fill_lines(self, cache, start: int, end: int) -> None:
+        """Fill every cache line overlapping ``[start, end)`` into ``cache``."""
+        line_bytes = self.params.memory.line_bytes
+        fill = cache.fill
+        for line in range(start & ~(line_bytes - 1), end, line_bytes):
+            fill(line)
+
     def _prewarm_l2(self, program: Program) -> None:
         """Install the code image into the L2 before simulation.
 
@@ -179,10 +187,7 @@ class Simulator:
         predictor warm-up still happens architecturally during the
         warmup window.
         """
-        line = program.code_start & ~(self.params.memory.line_bytes - 1)
-        while line < program.code_end:
-            self.memory.l2.fill(line)
-            line += self.params.memory.line_bytes
+        self._fill_lines(self.memory.l2, program.code_start, program.code_end)
 
     def _build_direction_predictor(self, hist_bits: int):
         branch = self.params.branch
@@ -237,11 +242,26 @@ class Simulator:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, workload_name: str = "") -> RunResult:
-        """Simulate warmup + measurement windows; return the result."""
+        """Simulate warmup + measurement windows; return the result.
+
+        ``params.warmup_mode == "functional"`` fast-forwards the warmup
+        window architecturally (:func:`repro.core.warmup.functional_warmup`)
+        and starts the cycle-accurate loop at the measurement boundary;
+        ``"cycle"`` (and ``"auto"``, for this direct API) warms through
+        the full pipeline as before.
+        """
         params = self.params
         target = params.warmup_instructions + params.sim_instructions
         warmup = params.warmup_instructions
         guard = _CYCLE_GUARD_FACTOR * target + 100_000
+        if (
+            params.warmup_mode == "functional"
+            and warmup > 0
+            and not self._measuring
+            and self.backend.committed == 0
+        ):
+            functional_warmup(self)
+            self._begin_measurement()
         if self.telemetry is not None:
             self._loop_instrumented(target, warmup, guard)
         else:

@@ -66,10 +66,20 @@ def run_bench(
     workloads: list[str] | None = None,
     params: SimParams | None = None,
     repeats: int = 1,
+    fast_warmup: bool = False,
 ) -> dict:
-    """Benchmark the cycle loop; returns the BENCH_core payload."""
+    """Benchmark the cycle loop; returns the BENCH_core payload.
+
+    ``fast_warmup`` switches the runs to functional fast-forward warmup
+    (``repro bench --fast-warmup``); the reported rate still counts the
+    warmup instructions -- they are simulated, just architecturally --
+    so the speedup from skipping cycle-accurate warmup shows up in
+    ``instructions_per_second`` directly.
+    """
     workloads = workloads or list(QUICK_WORKLOADS)
     params = params or default_params()
+    if fast_warmup:
+        params = params.replace(warmup_mode="functional")
     per_workload: dict[str, dict] = {}
     for wl in workloads:
         per_workload[wl] = bench_workload(wl, params, repeats=repeats)
@@ -86,6 +96,7 @@ def run_bench(
         "config": {
             "warmup_instructions": params.warmup_instructions,
             "sim_instructions": params.sim_instructions,
+            "warmup_mode": params.warmup_mode,
             "label": params.label(),
             "repeats": repeats,
             "workloads": workloads,
@@ -105,3 +116,46 @@ def write_bench(payload: dict, output: str | Path = DEFAULT_OUTPUT) -> Path:
     path = Path(output)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+REGRESSION_THRESHOLD = 0.20
+"""Aggregate slowdown beyond this fraction fails ``bench --baseline``."""
+
+
+def compare_bench(
+    current: dict,
+    baseline: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> dict:
+    """Compare two BENCH_core payloads (``repro bench --baseline``).
+
+    Returns per-workload and aggregate relative deltas
+    (``+0.10`` = 10% faster than baseline) plus a ``regressed`` flag
+    set when the aggregate rate dropped by more than ``threshold``.
+    Workloads present in only one payload are listed but not compared.
+    Comparisons are only meaningful between runs on the same machine
+    with the same windows; the caller is trusted on that.
+    """
+
+    def _rate(payload: dict, workload: str) -> float | None:
+        row = payload.get("workloads", {}).get(workload)
+        return row.get("instructions_per_second") if row else None
+
+    deltas: dict[str, float | None] = {}
+    names = sorted(
+        set(current.get("workloads", {})) | set(baseline.get("workloads", {}))
+    )
+    for name in names:
+        cur, base = _rate(current, name), _rate(baseline, name)
+        deltas[name] = (cur - base) / base if cur and base else None
+
+    cur_agg = current.get("aggregate", {}).get("instructions_per_second", 0.0)
+    base_agg = baseline.get("aggregate", {}).get("instructions_per_second", 0.0)
+    agg_delta = (cur_agg - base_agg) / base_agg if cur_agg and base_agg else None
+    return {
+        "workloads": deltas,
+        "aggregate": agg_delta,
+        "threshold": threshold,
+        "regressed": agg_delta is not None and agg_delta < -threshold,
+    }
+

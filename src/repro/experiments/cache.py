@@ -37,8 +37,13 @@ from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
 from repro.trace.workloads import WorkloadSpec, workload_by_name
 
-SIM_SCHEMA_VERSION = 1
-"""Bump when simulator/trace/predictor changes can alter RunResults."""
+SIM_SCHEMA_VERSION = 2
+"""Bump when simulator/trace/predictor changes can alter RunResults.
+
+v2: the sweep runner defaults ``SimParams.warmup_mode`` to
+``functional`` (fast-forward warmup); the mode is resolved before
+keying, so cycle- and functional-warmup results never share entries.
+"""
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLED = "REPRO_CACHE"

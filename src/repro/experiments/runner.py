@@ -18,11 +18,12 @@ for IPC speedups, arithmetic mean for per-kilo-instruction metrics.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.common.log import get_logger
-from repro.common.params import SimParams
+from repro.common.params import WARMUP_MODES, SimParams
 from repro.common.stats import amean, geomean
 from repro.core.metrics import RunResult
 from repro.core.simulator import simulate
@@ -45,8 +46,28 @@ def _simulate_point(workload: str, params: SimParams) -> RunResult:
     return simulate(workload, params)
 
 
+def resolve_warmup_mode(params: SimParams) -> SimParams:
+    """Resolve ``warmup_mode="auto"`` for sweep execution.
+
+    The sweep runner defaults to functional fast-forward warmup
+    (``REPRO_WARMUP_MODE`` overrides, e.g. ``cycle`` to recover the old
+    behaviour).  Resolution happens *before* cache keys are computed,
+    so cached results are always tagged with the concrete mode and the
+    two modes never share entries.  Explicit modes pass through.
+    """
+    if params.warmup_mode != "auto":
+        return params
+    mode = os.environ.get("REPRO_WARMUP_MODE", "functional").strip().lower()
+    if mode == "auto" or mode not in WARMUP_MODES:
+        raise ValueError(
+            f"REPRO_WARMUP_MODE must be 'cycle' or 'functional', got {mode!r}"
+        )
+    return params.replace(warmup_mode=mode)
+
+
 def run_config(workload: str, params: SimParams) -> RunResult:
     """Simulate (memoised + disk-cached) one workload configuration."""
+    params = resolve_warmup_mode(params)
     key = run_key(workload, params)
     result = _CACHE.get(key)
     if result is not None:
@@ -97,6 +118,7 @@ def run_points(
     resolved: dict[str, RunResult] = {}
     pending: dict[str, tuple[str, SimParams]] = {}
     for workload, params in points:
+        params = resolve_warmup_mode(params)
         key = run_key(workload, params)
         if key in resolved or key in pending:
             continue
@@ -157,7 +179,9 @@ def run_matrix(
         jobs=jobs,
     )
     return {
-        label: {wl: by_key[run_key(wl, params)] for wl in workloads}
+        label: {
+            wl: by_key[run_key(wl, resolve_warmup_mode(params))] for wl in workloads
+        }
         for label, params in configs.items()
     }
 

@@ -20,6 +20,7 @@ an oracle.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 from repro.branch.btb import BTB
@@ -194,10 +195,17 @@ class BranchPredictionUnit:
         # Per-cycle loop constants, bound once (hot path).
         self._predict_width = params.frontend.predict_width
         self._max_taken = params.frontend.max_taken_per_cycle
+        self._two_level_btb = bool(params.branch.btb_l1_entries)
         self._perfect_btb = params.branch.perfect_btb
         self._perfect_direction = params.branch.perfect_direction
         self._perfect_indirect = params.branch.perfect_indirect
         self._segments = stream.segments
+        # Precompiled static-image branch arrays (repro.trace.fbmeta):
+        # the perfect-BTB candidate scan slices these instead of probing
+        # the image dictionary 4 bytes at a time.
+        meta = program.fetch_meta()
+        self._meta_addrs = meta.addrs
+        self._meta_triples = meta.triples
 
     # ------------------------------------------------------------------
     # Per-cycle operation
@@ -217,7 +225,7 @@ class BranchPredictionUnit:
                 # A taken prediction served by the second-level BTB
                 # bubbles the prediction pipeline (two-level hierarchy,
                 # Section II-B).
-                if self.btb.was_l2_sourced(entry.term_addr):
+                if self._two_level_btb and self.btb.was_l2_sourced(entry.term_addr):
                     self.stats.bump("btb_l2_taken_predictions")
                     self.stall_until = max(
                         self.stall_until,
@@ -322,7 +330,10 @@ class BranchPredictionUnit:
                     hist = mgr.push_outcome(hist, addr, bit, pred_target)
                     dir_pushes.append((addr, bit))
 
-        detected_upto = tuple(a for a in detected if a <= term_addr)
+        # Candidates arrive in address order (BTB.scan_block sorts; the
+        # precompiled metadata is sorted), so everything appended to
+        # ``detected`` before the taken-branch break is <= term_addr.
+        detected_upto = tuple(detected)
         fault = None
         cont_seg = WRONG_PATH
         if on_path:
@@ -333,7 +344,7 @@ class BranchPredictionUnit:
                 term_addr,
                 pred_taken,
                 pred_target,
-                frozenset(detected_upto),
+                detected_upto,
                 self.program,
             )
 
@@ -370,20 +381,12 @@ class BranchPredictionUnit:
         (Figs 6a/10/11) every branch in the static image is visible.
         """
         if self._perfect_btb:
-            out = []
-            addr = start
-            instruction_at = self.program.instruction_at
-            while addr <= block_last:
-                instr = instruction_at(addr)
-                if instr is not None:
-                    out.append((addr, instr.kind, instr.target))
-                addr += 4
-            return out
-        return [
-            (e.addr, e.kind, e.target)
-            for e in self.btb.scan_block(start, block_last)
-            if e.addr >= start
-        ]
+            addrs = self._meta_addrs
+            lo = bisect_left(addrs, start)
+            hi = bisect_right(addrs, block_last)
+            return self._meta_triples[lo:hi]
+        # scan_block already bounds start <= addr <= block_last, sorted.
+        return [(e.addr, e.kind, e.target) for e in self.btb.scan_block(start, block_last)]
 
     def _predict_direction(self, addr: int, hist: int, seg) -> bool:
         if self._perfect_direction:

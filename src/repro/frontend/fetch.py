@@ -29,6 +29,8 @@ waiting for the backend to flush the pipeline.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.branch.history import HistoryManager
 from repro.common.params import SimParams
 from repro.common.stats import StatSet
@@ -43,6 +45,7 @@ from repro.frontend.ftq import (
 from repro.isa.instructions import BranchKind
 from repro.memory.hierarchy import InstructionMemory
 from repro.trace.cfg import Program
+from repro.trace.fbmeta import PD_COND, PD_INDIRECT, PD_RETURN
 from repro.trace.oracle import OracleStream
 
 
@@ -80,6 +83,14 @@ class FetchUnit:
         self._fetch_width = params.frontend.fetch_width
         self._probe_width = params.frontend.fetch_probe_width
         self._wrong_path_fills = params.frontend.wrong_path_fills
+        # Precompiled static-image branch arrays (repro.trace.fbmeta):
+        # the PFC pre-decoder bisects these instead of walking the block
+        # through the image dictionary 4 bytes at a time.
+        meta = program.fetch_meta()
+        self._meta_addrs = meta.addrs
+        self._meta_kinds = meta.kinds
+        self._meta_targets = meta.targets
+        self._meta_pd = meta.pd_class
 
     # ------------------------------------------------------------------
     # Fill wakeups
@@ -101,13 +112,25 @@ class FetchUnit:
     # ------------------------------------------------------------------
     def probe_stage(self, cycle: int) -> None:
         """Oldest awaiting entries probe I-TLB + I-cache tags."""
+        ftq = self.ftq
+        entries = ftq._entries
+        n = len(entries)
+        # Skip the settled prefix (states only move forward); amortised
+        # O(1) per entry instead of a full re-scan every cycle.
+        start = ftq.probe_ptr
+        while start < n and entries[start].state != STATE_AWAIT_PROBE:
+            start += 1
+        ftq.probe_ptr = start
+        if start >= n:
+            return
         probes = self._probe_width
         wrong_path_fills = self._wrong_path_fills
         demand_probe = self.memory.demand_probe
         prefetcher = self.prefetcher
-        for idx, entry in enumerate(self.ftq):
+        for idx in range(start, n):
             if probes <= 0:
                 break
+            entry = entries[idx]
             if entry.state != STATE_AWAIT_PROBE:
                 continue
             if not wrong_path_fills and entry.cursor_seg == WRONG_PATH:
@@ -212,18 +235,28 @@ class FetchUnit:
         if not pfc_on and not fixup_on:
             return
         detected = entry.detected
-        addr = entry.start
-        while addr < entry.term_addr:
-            instr = self.program.instruction_at(addr)
-            addr += 4
-            if instr is None or instr.addr in detected:
+        addrs = self._meta_addrs
+        kinds = self._meta_kinds
+        targets = self._meta_targets
+        pd = self._meta_pd
+        lo = bisect_left(addrs, entry.start)
+        hi = bisect_left(addrs, entry.term_addr)
+        for i in range(lo, hi):
+            p = addrs[i]
+            if p in detected:
                 continue
-            p = instr.addr
-            kind = instr.kind
-            if kind.is_unconditional:
+            kind = kinds[i]
+            cls = pd[i]
+            if cls != PD_COND:
+                # Unconditional branch before the terminator (PFC case 1).
                 if not pfc_on:
                     continue
-                target = self._pfc_target(instr, entry)
+                if cls == PD_RETURN:
+                    target = entry.ras_top
+                elif cls == PD_INDIRECT:
+                    target = None
+                else:
+                    target = targets[i]
                 if target is None:
                     self.stats.bump("pfc_uncorrectable_indirect")
                     continue
@@ -237,8 +270,8 @@ class FetchUnit:
             if hint and pfc_on:
                 self.stats.bump("pfc_case2")
                 if self.telemetry is not None:
-                    self.telemetry.event("pfc", case=2, pc=p, target=instr.target)
-                self._resteer(entry, p, True, instr.target, kind, cycle, self.params.core.pfc_resteer_penalty)
+                    self.telemetry.event("pfc", case=2, pc=p, target=targets[i])
+                self._resteer(entry, p, True, targets[i], kind, cycle, self.params.core.pfc_resteer_penalty)
                 return
             if not hint and fixup_on:
                 self.stats.bump("ghr_fixup_flush")
@@ -249,14 +282,6 @@ class FetchUnit:
                     self.params.core.history_fixup_penalty, reason="fixup",
                 )
                 return
-
-    def _pfc_target(self, instr, entry: FTQEntry) -> int | None:
-        """Pre-decode-recoverable target of an unconditional branch."""
-        if instr.kind.is_pc_relative:
-            return instr.target
-        if instr.kind.is_return:
-            return entry.ras_top
-        return None  # register-indirect: target unknown at pre-decode
 
     def _hint(self, entry: FTQEntry, addr: int) -> bool:
         """The EV8-style per-slot direction hint bit (lazily evaluated

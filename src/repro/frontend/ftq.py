@@ -13,7 +13,6 @@ the real 195-byte cost from the architectural fields alone.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -112,13 +111,24 @@ class FTQEntry:
 class FTQ:
     """Bounded in-order queue of fetch targets."""
 
+    __slots__ = ("n_entries", "_entries", "telemetry", "probe_ptr")
+
     def __init__(self, n_entries: int) -> None:
         if n_entries < 1:
             raise ValueError("FTQ needs at least one entry")
         self.n_entries = n_entries
-        self._entries: deque[FTQEntry] = deque()
+        # A list, not a deque: the probe stage indexes entries randomly
+        # (probe_ptr prefix skip), which is O(1) on a list but O(n) on a
+        # deque, and at <= a few dozen entries pop(0) is a trivial memmove.
+        self._entries: list[FTQEntry] = []
         self.telemetry = None
         """Optional telemetry hub (set by Telemetry.attach on traced runs)."""
+        self.probe_ptr = 0
+        """Index of the oldest entry that may still be awaiting its
+        I-TLB/I-cache probe.  Entry states only move forward, so the
+        probe stage can skip the settled prefix instead of re-scanning
+        it every cycle; the pointer is purely an iteration hint (it may
+        lag, never lead) and has no architectural meaning."""
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -152,7 +162,9 @@ class FTQ:
             )
 
     def pop_head(self) -> FTQEntry:
-        entry = self._entries.popleft()
+        entry = self._entries.pop(0)
+        if self.probe_ptr > 0:
+            self.probe_ptr -= 1
         tel = self.telemetry
         if tel is not None:
             tel.event("ftq_pop", uid=entry.uid, start=entry.start, missed=entry.missed)
@@ -162,6 +174,7 @@ class FTQ:
         """Backend flush: discard everything."""
         n = len(self._entries)
         self._entries.clear()
+        self.probe_ptr = 0
         tel = self.telemetry
         if tel is not None and n:
             tel.event("ftq_flush", n=n)
@@ -175,6 +188,8 @@ class FTQ:
             count += 1
         if not self._entries:
             raise ValueError("reference entry not in FTQ")
+        if self.probe_ptr > len(self._entries):
+            self.probe_ptr = len(self._entries)
         tel = self.telemetry
         if tel is not None and count:
             tel.event("ftq_trim", behind_uid=entry.uid, n=count)

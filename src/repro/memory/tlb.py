@@ -14,6 +14,8 @@ from collections import OrderedDict
 class TLB:
     """Fully-associative LRU translation cache over fixed-size pages."""
 
+    __slots__ = ("n_entries", "page_bytes", "miss_latency", "_pages", "hits", "misses")
+
     def __init__(self, n_entries: int, page_bytes: int, miss_latency: int) -> None:
         if n_entries <= 0:
             raise ValueError("need at least one TLB entry")

@@ -80,6 +80,17 @@ class Prefetcher:
         if self.telemetry is not None:
             self.telemetry.event("prefetch_enqueue", line=line, prefetcher=self.name)
 
+    def reset_queue(self) -> None:
+        """Drop queued (not yet issued) prefetches without issuing them.
+
+        Used at the functional-warmup boundary: requests enqueued by
+        warmup-window training must not drain into the measured window
+        (enqueueing bumps no counters, so dropping them keeps the
+        measured prefetch-usefulness partition exact).
+        """
+        self._queue.clear()
+        self._queued.clear()
+
     def cycle(self, cycle: int) -> None:
         """Drain up to :data:`MAX_ISSUE_PER_CYCLE` queued prefetches."""
         budget = MAX_ISSUE_PER_CYCLE

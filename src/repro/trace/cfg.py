@@ -174,6 +174,23 @@ class Program:
     code_start: int
     code_end: int
     block_of_term: dict[int, int] = field(default_factory=dict)
+    _fetch_meta: object = field(default=None, repr=False, compare=False)
+    """Lazily compiled :class:`~repro.trace.fbmeta.FetchBlockMeta`."""
+
+    def fetch_meta(self):
+        """The program's precompiled fetch-block metadata (memoized).
+
+        Compiled once per program; the image is immutable, so the flat
+        arrays stay valid for the program's lifetime and are shared by
+        every simulator bound to it (including forked sweep workers).
+        """
+        meta = self._fetch_meta
+        if meta is None:
+            from repro.trace.fbmeta import FetchBlockMeta
+
+            meta = FetchBlockMeta(self)
+            self._fetch_meta = meta
+        return meta
 
     def instruction_at(self, addr: int) -> Instruction | None:
         """Return the branch instruction at ``addr``, or None for non-branches.

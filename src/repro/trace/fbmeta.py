@@ -1,0 +1,69 @@
+"""Precompiled fetch-block metadata.
+
+The per-cycle BPU candidate scan (perfect-BTB mode) and the fetch
+stage's PFC pre-decoder both walk a fetch block 4 bytes at a time,
+asking the program image "is there a branch here, and what shape is
+it?" on every visit.  The static image never changes, so this module
+compiles it once per :class:`~repro.trace.cfg.Program` into immutable
+flat parallel tuples sorted by address; consumers replace the per-slot
+walk with one ``bisect`` per block and a contiguous slice/range over
+the arrays.  The records carry exactly what the hot paths read --
+branch kind, PC-relative target, predecode class -- so the rewrite is
+bit-identical to the dictionary walk by construction
+(``tests/test_warmup.py`` pins the equivalence, and the parallel
+determinism test pins whole-run bit-identity).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import BranchKind
+
+# Predecode classification of a branch, as PFC's pre-decoder sees it
+# (Fig 5): how (whether) the branch target is recoverable from the
+# fetched bytes plus the RAS.
+PD_COND = 0
+"""PC-relative conditional: PFC case 2 candidate (target in encoding)."""
+PD_PCREL_UNCOND = 1
+"""PC-relative unconditional: PFC case 1, target in the encoding."""
+PD_RETURN = 2
+"""Return: PFC case 1, target from the RAS top."""
+PD_INDIRECT = 3
+"""Register-indirect: unconditional but uncorrectable at pre-decode."""
+
+
+class FetchBlockMeta:
+    """Flat, address-sorted branch metadata of one static program image.
+
+    All tuples are parallel and indexed by the same branch ordinal;
+    ``addrs`` is sorted ascending, so ``bisect`` over it selects the
+    branches inside any address window in O(log n).
+    """
+
+    __slots__ = ("addrs", "kinds", "targets", "pd_class", "triples")
+
+    def __init__(self, program) -> None:
+        branches = sorted(program.branches.values(), key=lambda i: i.addr)
+        self.addrs: tuple[int, ...] = tuple(i.addr for i in branches)
+        self.kinds: tuple[BranchKind, ...] = tuple(i.kind for i in branches)
+        self.targets: tuple[int, ...] = tuple(i.target for i in branches)
+        self.pd_class: tuple[int, ...] = tuple(
+            _classify(i.kind) for i in branches
+        )
+        self.triples: tuple[tuple[int, BranchKind, int], ...] = tuple(
+            (i.addr, i.kind, i.target) for i in branches
+        )
+        """(addr, kind, pc-relative target) per branch -- the exact shape
+        the BPU's perfect-BTB candidate scan yields."""
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+
+def _classify(kind: BranchKind) -> int:
+    if kind is BranchKind.COND_DIRECT:
+        return PD_COND
+    if kind.is_pc_relative:  # UNCOND_DIRECT / CALL_DIRECT
+        return PD_PCREL_UNCOND
+    if kind.is_return:
+        return PD_RETURN
+    return PD_INDIRECT

@@ -144,6 +144,10 @@ def _cached_trace(name: str, n_instructions: int) -> tuple[Program, OracleStream
     wl = workload_by_name(name)
     program = generate_program(wl.program_spec, wl.program_seed)
     stream = run_oracle(program, n_instructions + TRACE_SLACK, wl.oracle_seed)
+    # Compile the fetch-block metadata eagerly so the sweep runner's
+    # pre-generation pass bakes it into the trace cache, and forked
+    # workers inherit it instead of recompiling per process.
+    program.fetch_meta()
     return program, stream
 
 

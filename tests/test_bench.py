@@ -2,11 +2,14 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.common.params import SimParams
 from repro.experiments.bench import (
     BENCH_SCHEMA_VERSION,
     bench_workload,
+    compare_bench,
     run_bench,
     write_bench,
 )
@@ -47,6 +50,50 @@ class TestBenchLibrary:
         write_bench(payload, out)
         assert json.loads(out.read_text()) == payload
 
+    def test_fast_warmup_mode_recorded_and_meets_floor(self):
+        payload = run_bench(
+            workloads=["spc_fp"], params=fast(), repeats=1, fast_warmup=True
+        )
+        assert payload["config"]["warmup_mode"] == "functional"
+        assert payload["aggregate"]["instructions_per_second"] > MIN_INSTRS_PER_SEC
+
+
+def _payload(rates: dict[str, float], aggregate: float) -> dict:
+    return {
+        "workloads": {
+            name: {"instructions_per_second": rate} for name, rate in rates.items()
+        },
+        "aggregate": {"instructions_per_second": aggregate},
+    }
+
+
+class TestCompareBench:
+    def test_deltas_and_aggregate(self):
+        cur = _payload({"a": 110.0, "b": 90.0}, 100.0)
+        base = _payload({"a": 100.0, "b": 100.0}, 100.0)
+        cmp = compare_bench(cur, base)
+        assert cmp["workloads"]["a"] == pytest.approx(0.10)
+        assert cmp["workloads"]["b"] == pytest.approx(-0.10)
+        assert cmp["aggregate"] == pytest.approx(0.0)
+        assert not cmp["regressed"]
+
+    def test_regression_flag_uses_threshold(self):
+        base = _payload({"a": 100.0}, 100.0)
+        assert not compare_bench(_payload({"a": 81.0}, 81.0), base)["regressed"]
+        assert compare_bench(_payload({"a": 79.0}, 79.0), base)["regressed"]
+        assert not compare_bench(
+            _payload({"a": 50.0}, 50.0), base, threshold=0.60
+        )["regressed"]
+
+    def test_disjoint_workloads_not_compared(self):
+        cmp = compare_bench(
+            _payload({"a": 100.0, "new": 50.0}, 100.0),
+            _payload({"a": 100.0, "old": 50.0}, 100.0),
+        )
+        assert cmp["workloads"]["new"] is None
+        assert cmp["workloads"]["old"] is None
+        assert cmp["workloads"]["a"] == pytest.approx(0.0)
+
 
 class TestBenchCli:
     def test_bench_subcommand(self, tmp_path, capsys):
@@ -70,6 +117,49 @@ class TestBenchCli:
 
     def test_bench_unknown_workload(self, tmp_path):
         rc = main(["bench", "--workloads", "nope", "--output", str(tmp_path / "b.json")])
+        assert rc == 2
+
+    def _bench_args(self, out, *extra):
+        return [
+            "bench",
+            "--workloads", "spc_fp",
+            "--warmup", "1000",
+            "--instructions", "2500",
+            "--repeats", "1",
+            "--output", str(out),
+            *extra,
+        ]
+
+    def test_fast_warmup_flag(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(self._bench_args(out, "--fast-warmup")) == 0
+        assert json.loads(out.read_text())["config"]["warmup_mode"] == "functional"
+
+    def test_baseline_comparison(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(self._bench_args(out)) == 0
+        capsys.readouterr()
+        # Compare against the run itself: every delta is exactly 0%.
+        rc = main(self._bench_args(tmp_path / "b2.json", "--baseline", str(out)))
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "vs baseline" in text and "AGGREGATE" in text
+
+    def test_baseline_regression_fails(self, tmp_path, capsys):
+        out = tmp_path / "b.json"
+        assert main(self._bench_args(out)) == 0
+        inflated = json.loads(out.read_text())
+        for row in inflated["workloads"].values():
+            row["instructions_per_second"] *= 100.0
+        inflated["aggregate"]["instructions_per_second"] *= 100.0
+        fake = tmp_path / "fast_baseline.json"
+        fake.write_text(json.dumps(inflated))
+        rc = main(self._bench_args(tmp_path / "b3.json", "--baseline", str(fake)))
+        assert rc == 1
+
+    def test_baseline_unreadable(self, tmp_path):
+        out = tmp_path / "b.json"
+        rc = main(self._bench_args(out, "--baseline", str(tmp_path / "missing.json")))
         assert rc == 2
 
     def test_cache_cli(self, tmp_path, monkeypatch, capsys):

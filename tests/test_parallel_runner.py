@@ -15,7 +15,14 @@ def fast():
 
 
 def configs():
-    return {"base": fast(), "big_btb": fast().with_branch(btb_entries=1024)}
+    # perfect_btb exercises the precompiled-metadata candidate scan and
+    # (with PFC on by default) the bisect-based pre-decoder, so the
+    # determinism check below also pins those rewrites bit-identical.
+    return {
+        "base": fast(),
+        "big_btb": fast().with_branch(btb_entries=1024),
+        "perfect_btb": fast().with_branch(perfect_btb=True),
+    }
 
 
 def flatten(results):
@@ -68,7 +75,7 @@ class TestParallelDeterminism:
     def test_jobs_env_drives_run_matrix(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "2")
         results = run_matrix(configs(), ["spc_fp"])
-        assert set(results) == {"base", "big_btb"}
+        assert set(results) == {"base", "big_btb", "perfect_btb"}
 
 
 class TestWarmCache:
