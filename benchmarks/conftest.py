@@ -21,6 +21,21 @@ from repro.experiments.report import render_table
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``benchmarks`` marker.
+
+    Lets ``pytest -m "not benchmarks"`` exclude the expensive tree when
+    running tests and benchmarks in one invocation.  (This conftest's
+    hook sees the whole session's items, so filter by path.)
+    """
+    for item in items:
+        if _BENCH_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.benchmarks)
+
+
 def run_experiment(benchmark, experiment_fn, name: str):
     """Benchmark one experiment function and archive its table."""
     data = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)

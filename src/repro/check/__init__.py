@@ -1,0 +1,46 @@
+"""Correctness harness: differential checking, invariants, fuzzing.
+
+Three composable layers (see ``docs/TESTING.md``):
+
+* :mod:`repro.check.invariants` -- per-cycle structural invariant
+  sweeps, enabled by ``SimParams.check_invariants`` (zero cost when
+  off);
+* :mod:`repro.check.differential` -- replays an independently
+  regenerated functional-oracle stream against the cycle simulator's
+  commit stream, branch by branch, plus architectural end-state
+  agreement;
+* :mod:`repro.check.fuzz` -- a seeded random config/program fuzzer
+  running both layers plus metamorphic properties, with greedy failure
+  minimisation and JSON reproducers (:mod:`repro.check.reproducer`).
+
+Everything is driven from the ``repro check`` CLI subcommand.
+"""
+
+from repro.check.differential import (
+    CommitRecorder,
+    DifferentialDivergence,
+    DifferentialReport,
+    check_workload,
+    run_differential,
+)
+from repro.check.fuzz import FuzzFailure, FuzzReport, FuzzTrial, build_trial, fuzz, replay
+from repro.check.invariants import InvariantChecker, InvariantViolation
+from repro.check.reproducer import load_reproducer, write_reproducer
+
+__all__ = [
+    "CommitRecorder",
+    "DifferentialDivergence",
+    "DifferentialReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzTrial",
+    "InvariantChecker",
+    "InvariantViolation",
+    "build_trial",
+    "check_workload",
+    "fuzz",
+    "load_reproducer",
+    "replay",
+    "run_differential",
+    "write_reproducer",
+]

@@ -1,0 +1,115 @@
+"""Failure reproducers: JSON round-trip of (spec, seeds, params).
+
+A fuzz failure is fully determined by the trial's program spec, its two
+generation seeds, and the parameter bundle -- everything else
+regenerates deterministically.  This module serialises that tuple (plus
+the failing property and message) as a small JSON file and rebuilds the
+trial from it, so any violation becomes a one-command repro::
+
+    python -m repro check --replay results/check/failure-<seed>.json
+
+The JSON uses the same canonical dataclass encoding as the result
+cache's content fingerprints (:func:`repro.experiments.cache._canonical`),
+so a reproducer file doubles as a human-readable record of the exact
+configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.common.params import (
+    BranchPredictorParams,
+    CoreParams,
+    DirectionPredictorKind,
+    FrontendParams,
+    HistoryPolicy,
+    MemoryParams,
+    SimParams,
+)
+from repro.experiments.cache import _canonical
+from repro.trace.cfg import ProgramSpec
+
+REPRODUCER_VERSION = 1
+
+
+def params_to_dict(params: SimParams) -> dict:
+    """Canonical JSON-able encoding of a parameter bundle."""
+    return _canonical(params)
+
+
+def spec_to_dict(spec: ProgramSpec) -> dict:
+    """Canonical JSON-able encoding of a program spec."""
+    return _canonical(spec)
+
+
+def _fields_from_dict(cls, data: dict) -> dict:
+    """Rebuild constructor kwargs, restoring tuples from JSON lists."""
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue  # field added after the reproducer was written
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return kwargs
+
+
+def spec_from_dict(data: dict) -> ProgramSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    return ProgramSpec(**_fields_from_dict(ProgramSpec, data))
+
+
+def params_from_dict(data: dict) -> SimParams:
+    """Inverse of :func:`params_to_dict` (restores nested enums too)."""
+    frontend = _fields_from_dict(FrontendParams, data["frontend"])
+    frontend["history_policy"] = HistoryPolicy(frontend["history_policy"])
+    branch = _fields_from_dict(BranchPredictorParams, data["branch"])
+    branch["direction_kind"] = DirectionPredictorKind(branch["direction_kind"])
+    top = _fields_from_dict(SimParams, data)
+    top["frontend"] = FrontendParams(**frontend)
+    top["branch"] = BranchPredictorParams(**branch)
+    top["memory"] = MemoryParams(**_fields_from_dict(MemoryParams, data["memory"]))
+    top["core"] = CoreParams(**_fields_from_dict(CoreParams, data["core"]))
+    return SimParams(**top)
+
+
+def failure_to_dict(
+    seed: int,
+    prop: str,
+    message: str,
+    spec: ProgramSpec,
+    program_seed: int,
+    oracle_seed: int,
+    params: SimParams,
+) -> dict:
+    """One JSON-able reproducer record."""
+    return {
+        "version": REPRODUCER_VERSION,
+        "seed": seed,
+        "property": prop,
+        "message": message,
+        "program_spec": spec_to_dict(spec),
+        "program_seed": program_seed,
+        "oracle_seed": oracle_seed,
+        "params": params_to_dict(params),
+    }
+
+
+def write_reproducer(path: str | Path, record: dict) -> Path:
+    """Write one reproducer record; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: str | Path) -> dict:
+    """Load a reproducer record, validating its version tag."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("version") != REPRODUCER_VERSION:
+        raise ValueError(f"{path} is not a v{REPRODUCER_VERSION} reproducer file")
+    return data

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro run   --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
     python -m repro report fig7 fig14     # regenerate paper experiments
     python -m repro bench                 # cycle-loop throughput -> BENCH_core.json
     python -m repro trace --workload ...  # telemetry run -> JSONL + report
+    python -m repro check [--fuzz N]      # correctness harness (docs/TESTING.md)
     python -m repro cache info|clear      # persistent result cache
 
 ``run`` simulates one (workload, configuration) pair and prints the
@@ -142,6 +143,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="compare against a previous BENCH_core.json; exit non-zero "
         "if the aggregate rate regressed by more than 20%%",
+    )
+
+    check = sub.add_parser(
+        "check", help="correctness harness: differential + invariants + fuzzing"
+    )
+    check.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run N seeded random trials instead of the workload catalogue",
+    )
+    check.add_argument("--seed", type=int, default=0, help="base fuzz seed (trial i uses seed+i)")
+    check.add_argument(
+        "--workloads",
+        default="quick",
+        help="'quick' (default), 'all', or comma-separated catalogue names "
+        "(catalogue mode only)",
+    )
+    check.add_argument("--warmup", type=int, default=5_000, help="warmup instructions")
+    check.add_argument(
+        "--instructions", type=int, default=20_000, help="measured instructions"
+    )
+    check.add_argument(
+        "--parallel-every",
+        type=int,
+        default=5,
+        metavar="K",
+        help="add the worker-process bit-identity property to every K-th "
+        "fuzz trial (0 disables)",
+    )
+    check.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report the first fuzz failure without shrinking it",
+    )
+    check.add_argument(
+        "--out",
+        default="results/check",
+        help="directory for failure reproducer JSON (default results/check)",
+    )
+    check.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="re-run a failure reproducer JSON instead of fuzzing",
     )
 
     cache = sub.add_parser("cache", help="manage the persistent result cache")
@@ -361,6 +408,103 @@ def _bench_compare(payload: dict, baseline_path: str) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the correctness harness; exit 0 clean, 1 on any violation."""
+    if args.replay is not None:
+        return _check_replay(args.replay)
+    if args.fuzz is not None:
+        return _check_fuzz(args)
+    return _check_catalogue(args)
+
+
+def _check_catalogue(args: argparse.Namespace) -> int:
+    """Differential + invariant check of catalogue workloads."""
+    from repro.check import DifferentialDivergence, check_workload
+    from repro.check.invariants import InvariantViolation
+    from repro.experiments.configs import QUICK_WORKLOADS, default_params
+
+    if args.workloads == "quick":
+        names = list(QUICK_WORKLOADS)
+    elif args.workloads == "all":
+        names = [w.name for w in default_workloads()]
+    else:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        known = {w.name for w in default_workloads()}
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            log.error("unknown workloads: %s", ", ".join(unknown))
+            return 2
+    params = default_params().replace(
+        warmup_instructions=args.warmup, sim_instructions=args.instructions
+    )
+    failures = 0
+    for name in names:
+        try:
+            report = check_workload(name, params)
+        except (DifferentialDivergence, InvariantViolation) as exc:
+            failures += 1
+            print(f"{name:14s} FAIL\n{exc}")
+            continue
+        print(
+            f"{name:14s} ok  ({report.branches_checked} branches, "
+            f"{report.committed_instructions} instructions checked)"
+        )
+    if failures:
+        log.error("%d of %d workloads failed the differential check", failures, len(names))
+        return 1
+    print(f"all {len(names)} workload(s) clean")
+    return 0
+
+
+def _check_fuzz(args: argparse.Namespace) -> int:
+    """Seeded random fuzzing with reproducer dump on failure."""
+    from repro.check import fuzz, write_reproducer
+
+    if args.fuzz <= 0:
+        log.error("--fuzz must be positive, got %d", args.fuzz)
+        return 2
+    report = fuzz(
+        args.fuzz,
+        seed=args.seed,
+        parallel_every=args.parallel_every,
+        log=print,
+        do_minimize=not args.no_minimize,
+    )
+    if report.ok:
+        print(f"fuzz: {report.trials_run} trial(s) clean (seeds {args.seed}.."
+              f"{args.seed + args.fuzz - 1})")
+        return 0
+    failure = report.failure
+    path = write_reproducer(
+        Path(args.out) / f"failure-{failure.trial.seed}.json", failure.to_dict()
+    )
+    print(f"fuzz: FAIL at trial {report.trials_run} (seed {failure.trial.seed}, "
+          f"property {failure.prop}, {report.minimize_attempts} shrink attempts)")
+    print(failure.message)
+    print(f"reproducer written to {path}")
+    print(f"replay with: python -m repro check --replay {path}")
+    return 1
+
+
+def _check_replay(path: str) -> int:
+    """Re-run a saved reproducer; exit 0 when it no longer fails."""
+    from repro.check import load_reproducer, replay
+
+    try:
+        record = load_reproducer(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        log.error("cannot load reproducer %s: %s", path, exc)
+        return 2
+    print(f"replaying seed {record['seed']} (original property: {record['property']})")
+    failure = replay(record)
+    if failure is None:
+        print("replay: clean (failure no longer reproduces)")
+        return 0
+    print(f"replay: FAIL (property {failure.prop})")
+    print(failure.message)
+    return 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the persistent result cache."""
     cache = ResultCache()
@@ -390,6 +534,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "report": cmd_report,
         "bench": cmd_bench,
+        "check": cmd_check,
         "cache": cmd_cache,
     }
     return handlers[args.command](args)

@@ -242,6 +242,12 @@ class SimParams:
     """Registered name of the L1I prefetcher to attach (see repro.prefetch)."""
     warmup_mode: str = "auto"
     """How the warmup window is simulated (see :data:`WARMUP_MODES`)."""
+    check_invariants: bool = False
+    """Run the machine-checked invariant layer (:mod:`repro.check`) every
+    cycle and at end of run.  Checks only *observe* -- results are
+    bit-identical to an unchecked run -- but the per-cycle sweep costs
+    simulation speed, so it defaults off; ``repro check`` and the fuzzer
+    turn it on, and ``REPRO_CHECK=1`` enables it for sweep runs."""
 
     def __post_init__(self) -> None:
         if self.warmup_instructions < 0 or self.sim_instructions <= 0:

@@ -84,6 +84,28 @@ class DecodeQueue:
         if chunk.pos >= chunk.n:
             self._chunks.popleft()
 
+    def validate(self) -> list[str]:
+        """Structural invariants (:mod:`repro.check`); side-effect free."""
+        problems: list[str] = []
+        total = 0
+        for i, chunk in enumerate(self._chunks):
+            if chunk.n <= 0 or not 0 <= chunk.pos < chunk.n:
+                problems.append(
+                    f"decode-queue chunk {i}: position {chunk.pos} outside [0, {chunk.n})"
+                )
+            if i > 0 and chunk.pos:
+                problems.append(f"decode-queue chunk {i}: non-head chunk partially consumed")
+            total += chunk.n - chunk.pos
+        if total != self.total_instrs:
+            problems.append(
+                f"decode-queue occupancy counter {self.total_instrs} != chunk sum {total}"
+            )
+        if self.total_instrs > self.capacity:
+            problems.append(
+                f"decode queue holds {self.total_instrs} instructions, capacity {self.capacity}"
+            )
+        return problems
+
 
 class CommitTrainer:
     """Replays committed instructions into the predictors, in order."""

@@ -168,6 +168,13 @@ class Simulator:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.attach(self)
+        self.checker = None
+        if params.check_invariants:
+            # Imported lazily: the check layer is opt-in tooling and the
+            # core simulator must not depend on it by default.
+            from repro.check.invariants import InvariantChecker
+
+            self.checker = InvariantChecker(self)
 
     def _fill_lines(self, cache, start: int, end: int) -> None:
         """Fill every cache line overlapping ``[start, end)`` into ``cache``."""
@@ -262,7 +269,9 @@ class Simulator:
         ):
             functional_warmup(self)
             self._begin_measurement()
-        if self.telemetry is not None:
+        if self.checker is not None:
+            self._loop_checked(target, warmup, guard)
+        elif self.telemetry is not None:
             self._loop_instrumented(target, warmup, guard)
         else:
             self._loop(target, warmup, guard)
@@ -280,6 +289,8 @@ class Simulator:
         )
         if self.telemetry is not None:
             self.telemetry.finalize(self, result)
+        if self.checker is not None:
+            self.checker.check_end(result)
         return result
 
     def _loop(self, target: int, warmup: int, guard: int) -> None:
@@ -361,6 +372,57 @@ class Simulator:
             probe_stage(cycle)
             if prefetcher_cycle is not None:
                 prefetcher_cycle(cycle)
+            cycle += 1
+            if cycle > guard:
+                self.cycle = cycle
+                raise RuntimeError(
+                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
+                )
+        self.cycle = cycle
+
+
+    def _loop_checked(self, target: int, warmup: int, guard: int) -> None:
+        """The invariant-checking variant of :meth:`_loop` (repro check).
+
+        Simulation semantics are identical -- the checker only observes,
+        so results stay bit-identical to the other loops -- with an
+        invariant sweep at the end of every cycle.  An attached
+        telemetry hub is supported too (its hooks run at the same points
+        as in :meth:`_loop_instrumented`), so traced runs can be checked.
+        """
+        tel = self.telemetry
+        checker = self.checker
+        backend = self.backend
+        ftq = self.ftq
+        memory_tick = self.memory.tick
+        complete_fills = self.fetch.complete_fills
+        backend_cycle = backend.cycle
+        fetch_stage = self.fetch.fetch_stage
+        bpu_cycle = self.bpu.cycle
+        probe_stage = self.fetch.probe_stage
+        prefetcher = self.prefetcher
+        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
+        check_cycle = checker.check_cycle
+        cycle = self.cycle
+        while backend.committed < target:
+            if tel is not None:
+                tel.now = cycle
+            fills = memory_tick(cycle)
+            if fills:
+                complete_fills(fills, cycle)
+            before = backend.committed
+            backend_cycle(cycle)
+            if not self._measuring and backend.committed >= warmup:
+                self.cycle = cycle
+                self._begin_measurement()
+            if tel is not None:
+                tel.tick(cycle, backend.committed - before, self._measuring)
+            fetch_stage(cycle)
+            bpu_cycle(cycle, ftq)
+            probe_stage(cycle)
+            if prefetcher_cycle is not None:
+                prefetcher_cycle(cycle)
+            check_cycle(cycle)
             cycle += 1
             if cycle > guard:
                 self.cycle = cycle

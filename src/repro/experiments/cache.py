@@ -37,12 +37,18 @@ from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
 from repro.trace.workloads import WorkloadSpec, workload_by_name
 
-SIM_SCHEMA_VERSION = 2
+SIM_SCHEMA_VERSION = 3
 """Bump when simulator/trace/predictor changes can alter RunResults.
 
 v2: the sweep runner defaults ``SimParams.warmup_mode`` to
 ``functional`` (fast-forward warmup); the mode is resolved before
 keying, so cycle- and functional-warmup results never share entries.
+
+v3: ``SimParams`` grew ``check_invariants`` (the runtime invariant
+layer), changing parameter fingerprints; ``REPRO_CHECK`` is resolved
+before keying, so checked and unchecked sweep results never share
+entries (they are bit-identical, but a checked sweep must actually run
+the checker).
 """
 
 _ENV_DIR = "REPRO_CACHE_DIR"

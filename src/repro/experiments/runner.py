@@ -65,9 +65,34 @@ def resolve_warmup_mode(params: SimParams) -> SimParams:
     return params.replace(warmup_mode=mode)
 
 
+def resolve_check_mode(params: SimParams) -> SimParams:
+    """Apply the ``REPRO_CHECK`` invariant-checking override.
+
+    ``REPRO_CHECK=1`` forces every sweep simulation to run with the
+    runtime invariant layer on (``SimParams.check_invariants``) -- a
+    whole-experiment self-check mode.  Like warmup-mode resolution this
+    happens *before* cache keys are computed; checked runs are
+    bit-identical to unchecked ones but never share cache entries, so a
+    checked sweep actually re-executes every point under the checker.
+    """
+    raw = os.environ.get("REPRO_CHECK", "").strip().lower()
+    if raw in ("", "0", "false", "no"):
+        return params
+    if raw not in ("1", "true", "yes"):
+        raise ValueError(f"REPRO_CHECK must be a boolean flag, got {raw!r}")
+    if params.check_invariants:
+        return params
+    return params.replace(check_invariants=True)
+
+
+def _resolve(params: SimParams) -> SimParams:
+    """All environment overrides, in cache-key order."""
+    return resolve_check_mode(resolve_warmup_mode(params))
+
+
 def run_config(workload: str, params: SimParams) -> RunResult:
     """Simulate (memoised + disk-cached) one workload configuration."""
-    params = resolve_warmup_mode(params)
+    params = _resolve(params)
     key = run_key(workload, params)
     result = _CACHE.get(key)
     if result is not None:
@@ -118,7 +143,7 @@ def run_points(
     resolved: dict[str, RunResult] = {}
     pending: dict[str, tuple[str, SimParams]] = {}
     for workload, params in points:
-        params = resolve_warmup_mode(params)
+        params = _resolve(params)
         key = run_key(workload, params)
         if key in resolved or key in pending:
             continue
@@ -179,9 +204,7 @@ def run_matrix(
         jobs=jobs,
     )
     return {
-        label: {
-            wl: by_key[run_key(wl, resolve_warmup_mode(params))] for wl in workloads
-        }
+        label: {wl: by_key[run_key(wl, _resolve(params))] for wl in workloads}
         for label, params in configs.items()
     }
 

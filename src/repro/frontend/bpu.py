@@ -237,6 +237,34 @@ class BranchPredictionUnit:
                     break
 
     # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate_state(self) -> list[str]:
+        """On-path cursor invariants (:mod:`repro.check`); side-effect free.
+
+        Whenever the BPU believes it is on the oracle path, its PC must
+        actually lie inside the segment its cursor points at -- this is
+        the precondition :func:`compute_fault` documents, maintained by
+        every re-steer and entry-continuation path.
+        """
+        problems: list[str] = []
+        if self.cursor_seg == WRONG_PATH:
+            return problems
+        segs = self._segments
+        if not 0 <= self.cursor_seg < len(segs):
+            problems.append(f"BPU cursor segment {self.cursor_seg} outside [0, {len(segs)})")
+            return problems
+        if self.pc % 4:
+            problems.append(f"BPU pc {self.pc:#x} not instruction aligned")
+        seg = segs[self.cursor_seg]
+        if not seg.start <= self.pc <= seg.end:
+            problems.append(
+                f"BPU on-path pc {self.pc:#x} outside segment {self.cursor_seg} "
+                f"[{seg.start:#x}..{seg.end:#x}]"
+            )
+        return problems
+
+    # ------------------------------------------------------------------
     # Re-steer (backend flush, PFC, history fixup)
     # ------------------------------------------------------------------
     def resteer(

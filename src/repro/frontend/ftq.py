@@ -180,6 +180,47 @@ class FTQ:
             tel.event("ftq_flush", n=n)
         return n
 
+    def validate(self, block_bytes: int = 0) -> list[str]:
+        """Structural invariants (:mod:`repro.check`); side-effect free.
+
+        Returns human-readable descriptions of every violated invariant:
+        occupancy bound, legal entry states, instruction-aligned bounds
+        within one fetch block (when ``block_bytes`` is given), head-only
+        partial consumption, the probe-pointer prefix property (entries
+        behind ``probe_ptr`` are past their probe), and stream
+        contiguity -- each entry starts where its older neighbour's
+        predicted path continues.
+        """
+        problems: list[str] = []
+        entries = self._entries
+        if len(entries) > self.n_entries:
+            problems.append(f"FTQ holds {len(entries)} entries, capacity {self.n_entries}")
+        if not 0 <= self.probe_ptr <= len(entries):
+            problems.append(f"probe_ptr {self.probe_ptr} outside [0, {len(entries)}]")
+        block_mask = ~(block_bytes - 1) if block_bytes else 0
+        for i, e in enumerate(entries):
+            tag = f"FTQ[{i}] uid={e.uid}"
+            if e.state not in (STATE_AWAIT_PROBE, STATE_AWAIT_FILL, STATE_READY):
+                problems.append(f"{tag}: invalid state {e.state}")
+            if e.term_addr < e.start or (e.term_addr - e.start) % 4:
+                problems.append(
+                    f"{tag}: bounds [{e.start:#x}..{e.term_addr:#x}] not instruction aligned"
+                )
+            if block_bytes and (e.start & block_mask) != (e.term_addr & block_mask):
+                problems.append(f"{tag}: spans a {block_bytes}-byte fetch-block boundary")
+            if not 0 <= e.consumed < e.n_instrs:
+                problems.append(f"{tag}: consumed {e.consumed} outside [0, {e.n_instrs})")
+            if i > 0 and e.consumed:
+                problems.append(f"{tag}: non-head entry partially consumed")
+            if i < self.probe_ptr and e.state == STATE_AWAIT_PROBE:
+                problems.append(f"{tag}: awaiting probe behind probe_ptr {self.probe_ptr}")
+            if i + 1 < len(entries) and entries[i + 1].start != e.next_fetch_addr:
+                problems.append(
+                    f"{tag}: stream discontinuity (next entry starts at "
+                    f"{entries[i + 1].start:#x}, expected {e.next_fetch_addr:#x})"
+                )
+        return problems
+
     def flush_younger_than(self, entry: FTQEntry) -> int:
         """PFC / fixup re-steer: discard entries younger than ``entry``."""
         count = 0

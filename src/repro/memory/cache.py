@@ -163,6 +163,30 @@ class Cache:
             "hit_rate": self.hits / (self.hits + self.misses) if self.hits + self.misses else 0.0,
         }
 
+    def validate(self) -> list[str]:
+        """Structural invariants (:mod:`repro.check`); side-effect free.
+
+        Per-set occupancy bound, no duplicate lines, line-address
+        alignment, and correct set indexing of every resident line.
+        """
+        problems: list[str] = []
+        for idx, ways in enumerate(self._sets):
+            if len(ways) > self.assoc:
+                problems.append(
+                    f"{self.name} set {idx}: {len(ways)} lines exceed associativity {self.assoc}"
+                )
+            if len(set(ways)) != len(ways):
+                problems.append(f"{self.name} set {idx}: duplicate resident line")
+            for line in ways:
+                if line % self.line_bytes:
+                    problems.append(f"{self.name} set {idx}: misaligned line {line:#x}")
+                elif self._set_index(line) != idx:
+                    problems.append(
+                        f"{self.name}: line {line:#x} resident in set {idx}, "
+                        f"indexes to set {self._set_index(line)}"
+                    )
+        return problems
+
     def resident_lines(self) -> set[int]:
         """All resident line addresses (for tests and invariants)."""
         out: set[int] = set()

@@ -215,6 +215,30 @@ class InstructionMemory:
         return self.params.dram_latency
 
     # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Cross-structure memory invariants (:mod:`repro.check`).
+
+        Side-effect free (uses :meth:`Cache.resident_lines`, never
+        ``probe``): both caches' structural checks, the MSHR checks, no
+        line simultaneously in flight and resident in the L1I, and the
+        untouched-prefetch accounting set being a subset of the resident
+        L1I lines (every eviction/demand-touch path must maintain it).
+        """
+        problems = self.l1i.validate() + self.l2.validate() + self.mshrs.validate()
+        resident = self.l1i.resident_lines()
+        for line in self.mshrs._by_line:
+            if line in resident:
+                problems.append(f"line {line:#x} both in flight (MSHR) and resident in L1I")
+        for line in self._prefetched_untouched:
+            if line not in resident:
+                problems.append(
+                    f"untouched-prefetch accounting leak: line {line:#x} not resident in L1I"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
     # Control
     # ------------------------------------------------------------------
     def flush_waiters(self) -> None:

@@ -108,6 +108,26 @@ class MSHRFile:
             ready.sort(key=lambda e: e.ready_cycle)
         return ready
 
+    def validate(self) -> list[str]:
+        """Structural invariants (:mod:`repro.check`); side-effect free.
+
+        Occupancy bound, key/entry line agreement (no duplicate lines by
+        construction of the dict, but a corrupted key would alias two),
+        and causal fill timing.
+        """
+        problems: list[str] = []
+        if len(self._by_line) > self.n_entries:
+            problems.append(f"MSHR holds {len(self._by_line)} fills, capacity {self.n_entries}")
+        for line, entry in self._by_line.items():
+            if entry.line != line:
+                problems.append(f"MSHR key {line:#x} maps to entry for line {entry.line:#x}")
+            if entry.ready_cycle < entry.issue_cycle:
+                problems.append(
+                    f"MSHR line {line:#x}: ready cycle {entry.ready_cycle} "
+                    f"before issue cycle {entry.issue_cycle}"
+                )
+        return problems
+
     def flush_waiters(self) -> None:
         """Detach all waiters (on pipeline flush); fills still complete.
 

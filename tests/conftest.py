@@ -23,6 +23,21 @@ def _isolated_result_cache():
             else:
                 os.environ["REPRO_CACHE_DIR"] = old
 
+
+@pytest.fixture(autouse=True)
+def _clean_repro_env(monkeypatch):
+    """Shield every test from ambient ``REPRO_*`` behaviour knobs.
+
+    A developer's shell (or a previous test that sets one directly) must
+    not leak warmup-mode, job-count, invariant-check or logging
+    configuration into tests; monkeypatch restores any value a test sets
+    itself.  ``REPRO_CACHE_DIR`` stays: the session fixture above pins
+    it to a per-run temporary directory.
+    """
+    for name in ("REPRO_WARMUP_MODE", "REPRO_JOBS", "REPRO_CHECK", "REPRO_CACHE",
+                 "REPRO_LOG", "REPRO_WORKLOADS", "REPRO_WARMUP", "REPRO_SIM"):
+        monkeypatch.delenv(name, raising=False)
+
 from repro.common.params import SimParams
 from repro.isa.instructions import BranchKind, Instruction
 from repro.trace.cfg import Program, ProgramSpec, generate_program

@@ -1,0 +1,233 @@
+"""Tests for the correctness harness (repro.check)."""
+
+import json
+import random
+
+import pytest
+
+from repro.check import (
+    CommitRecorder,
+    DifferentialDivergence,
+    InvariantViolation,
+    build_trial,
+    check_workload,
+    load_reproducer,
+    replay,
+    run_differential,
+    write_reproducer,
+)
+from repro.check.differential import flatten_branches
+from repro.check.fuzz import FuzzTrial, fuzz, random_params, random_spec, run_trial
+from repro.check.reproducer import (
+    failure_to_dict,
+    params_from_dict,
+    params_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.core.simulator import Simulator
+from repro.trace.oracle import run_oracle
+from tests.conftest import fast_params, tiny_spec
+from repro.trace.cfg import generate_program
+
+
+def checked_params(**overrides):
+    params = fast_params(**overrides)
+    return params.replace(check_invariants=True, warmup_mode="cycle")
+
+
+@pytest.fixture
+def trace9k():
+    program = generate_program(tiny_spec(), seed=7)
+    return program, run_oracle(program, 9_000, seed=11)
+
+
+@pytest.fixture
+def tiny_sim(trace9k):
+    program, stream = trace9k
+    return Simulator(checked_params(), program, stream)
+
+
+class TestInvariantChecker:
+    def test_attached_only_when_requested(self, trace9k):
+        program, stream = trace9k
+        assert Simulator(checked_params(), program, stream).checker is not None
+        assert Simulator(fast_params(), program, stream).checker is None
+
+    def test_clean_run_sweeps_every_cycle(self, trace9k):
+        program, stream = trace9k
+        sim = Simulator(checked_params(), program, stream)
+        result = sim.run()
+        assert result.instructions >= 6_000
+        assert sim.checker.cycles_checked >= result.cycles
+
+    def test_checked_run_is_bit_identical(self, trace9k):
+        program, stream = trace9k
+        checked = Simulator(checked_params(), program, stream).run()
+        plain = Simulator(
+            fast_params().replace(warmup_mode="cycle"), program, stream
+        ).run()
+        assert checked.cycles == plain.cycles
+        assert checked.instructions == plain.instructions
+        assert checked.stats.as_dict() == plain.stats.as_dict()
+
+    def test_detects_corrupt_cache_set(self, tiny_sim):
+        tiny_sim.memory.l1i._sets[0].append(12345)  # misaligned, wrong set
+        with pytest.raises(InvariantViolation) as exc:
+            tiny_sim.checker.check_cycle(2048)  # heavy sweep includes caches
+        assert "misaligned" in str(exc.value)
+        assert exc.value.cycle == 2048
+
+    def test_detects_corrupt_decode_queue(self, tiny_sim):
+        tiny_sim.decode_queue.total_instrs += 3
+        with pytest.raises(InvariantViolation) as exc:
+            tiny_sim.checker.check_cycle(0)
+        assert "decode-queue" in str(exc.value)
+
+    def test_detects_trainer_divergence(self, tiny_sim):
+        tiny_sim.trainer.committed += 1
+        with pytest.raises(InvariantViolation) as exc:
+            tiny_sim.checker.check_cycle(0)
+        assert "trainer" in str(exc.value)
+
+
+class TestDifferential:
+    def test_catalogue_workload_clean(self):
+        report = check_workload("srv_web", checked_params())
+        assert report.branches_checked > 100
+        assert report.committed_instructions >= 8_000
+
+    def test_run_differential_clean(self, trace9k):
+        program, stream = trace9k
+        expected = run_oracle(program, 9_000, seed=11)  # independent regen
+        result, report = run_differential(checked_params(), program, stream, expected)
+        assert report.branches_checked > 0
+        assert result.instructions >= 6_000
+
+    def test_detects_tampered_direction(self, trace9k):
+        program, stream = trace9k
+        sim = Simulator(fast_params().replace(warmup_mode="cycle"), program, stream)
+        expected = flatten_branches(run_oracle(program, 9_000, seed=11))
+        addr, kind, taken, target = expected[5]
+        expected[5] = (addr, kind, not taken, target)
+        CommitRecorder(sim.trainer, expected)
+        with pytest.raises(DifferentialDivergence) as exc:
+            sim.run()
+        assert "branch #5" in str(exc.value)
+
+    def test_detects_truncated_oracle(self, trace9k):
+        program, stream = trace9k
+        sim = Simulator(fast_params().replace(warmup_mode="cycle"), program, stream)
+        expected = flatten_branches(run_oracle(program, 9_000, seed=11))[:10]
+        CommitRecorder(sim.trainer, expected)
+        with pytest.raises(DifferentialDivergence) as exc:
+            sim.run()
+        assert "longer than the oracle" in str(exc.value)
+
+    def test_recorder_chains_existing_listener(self, trace9k):
+        program, stream = trace9k
+        sim = Simulator(fast_params().replace(warmup_mode="cycle"), program, stream)
+        seen = []
+        sim.trainer.branch_listener = lambda pc, kind, taken, target: seen.append(pc)
+        expected = flatten_branches(run_oracle(program, 9_000, seed=11))
+        recorder = CommitRecorder(sim.trainer, expected)
+        sim.run()
+        assert len(seen) == recorder.index > 0
+
+
+class TestFuzz:
+    def test_generators_respect_validation(self):
+        rng = random.Random(1234)
+        for _ in range(50):
+            random_spec(rng)  # ProgramSpec.__post_init__ validates
+            random_params(rng)  # SimParams and children validate
+
+    def test_trials_are_seed_deterministic(self):
+        assert build_trial(17) == build_trial(17)
+        assert build_trial(17) != build_trial(18)
+
+    @pytest.mark.slow
+    def test_small_campaign_clean(self):
+        report = fuzz(3, seed=0, parallel_every=0)
+        assert report.ok
+        assert report.trials_run == 3
+
+    def test_run_trial_flags_violation(self):
+        # A trial whose program cannot be generated must fail cleanly,
+        # exercising the failure path without a (slow) real divergence.
+        trial = build_trial(0)
+        broken = FuzzTrial(
+            seed=trial.seed,
+            spec=None,
+            program_seed=trial.program_seed,
+            oracle_seed=trial.oracle_seed,
+            params=trial.params,
+        )
+        failure = run_trial(broken)
+        assert failure is not None
+        assert failure.prop == "generation"
+
+
+class TestReproducer:
+    def test_params_round_trip(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            params = random_params(rng)
+            assert params_from_dict(params_to_dict(params)) == params
+
+    def test_spec_round_trip(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            spec = random_spec(rng)
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        trial = build_trial(3)
+        record = failure_to_dict(
+            trial.seed, "demo", "msg", trial.spec, trial.program_seed,
+            trial.oracle_seed, trial.params,
+        )
+        path = write_reproducer(tmp_path / "f.json", record)
+        loaded = load_reproducer(path)
+        assert loaded == record
+        assert params_from_dict(loaded["params"]) == trial.params
+        assert spec_from_dict(loaded["program_spec"]) == trial.spec
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_reproducer(path)
+
+    @pytest.mark.slow
+    def test_replay_of_passing_trial_is_clean(self):
+        trial = build_trial(1)
+        record = failure_to_dict(
+            trial.seed, "demo", "msg", trial.spec, trial.program_seed,
+            trial.oracle_seed, trial.params,
+        )
+        assert replay(record) is None
+
+
+class TestReproCheckEnv:
+    def test_repro_check_forces_invariants(self, monkeypatch):
+        from repro.experiments.runner import resolve_check_mode
+
+        params = fast_params()
+        assert resolve_check_mode(params) is params
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        assert resolve_check_mode(params).check_invariants
+
+    def test_repro_check_rejects_garbage(self, monkeypatch):
+        from repro.experiments.runner import resolve_check_mode
+
+        monkeypatch.setenv("REPRO_CHECK", "sideways")
+        with pytest.raises(ValueError):
+            resolve_check_mode(fast_params())
+
+    def test_check_mode_changes_cache_key(self):
+        from repro.experiments.cache import run_key
+
+        params = fast_params().replace(warmup_mode="cycle")
+        checked = params.replace(check_invariants=True)
+        assert run_key("srv_web", params) != run_key("srv_web", checked)

@@ -64,3 +64,35 @@ class TestCommands:
 
     def test_report_unknown_experiment(self, capsys):
         assert main(["report", "fig99"]) == 2
+
+
+class TestCheckCommand:
+    def test_catalogue_mode_clean(self, capsys):
+        code = main(
+            ["check", "--workloads", "spc_fp", "--warmup", "1000",
+             "--instructions", "2500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spc_fp" in out and "ok" in out
+
+    def test_rejects_unknown_workload(self):
+        assert main(["check", "--workloads", "nope"]) == 2
+
+    def test_rejects_nonpositive_fuzz_count(self):
+        assert main(["check", "--fuzz", "0"]) == 2
+        assert main(["check", "--fuzz", "-3"]) == 2
+
+    def test_replay_missing_file(self):
+        assert main(["check", "--replay", "/nonexistent/failure.json"]) == 2
+
+    def test_replay_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        assert main(["check", "--replay", str(path)]) == 2
+
+    @pytest.mark.slow
+    def test_fuzz_smoke(self, capsys):
+        assert main(["check", "--fuzz", "2", "--seed", "0",
+                     "--parallel-every", "0"]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -134,3 +134,37 @@ class TestSimParams:
     def test_direction_kind_enum(self):
         p = SimParams().with_branch(direction_kind=DirectionPredictorKind.GSHARE)
         assert p.branch.direction_kind is DirectionPredictorKind.GSHARE
+
+    def test_rejects_unknown_warmup_mode(self):
+        with pytest.raises(ValueError):
+            SimParams(warmup_mode="sideways")
+
+    def test_check_invariants_defaults_off(self):
+        assert not SimParams().check_invariants
+        assert SimParams().replace(check_invariants=True).check_invariants
+
+
+class TestMoreRejectionPaths:
+    def test_rejects_l1_btb_not_smaller(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_entries=1024, btb_l1_entries=1024)
+
+    def test_rejects_l1_btb_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_entries=2048, btb_l1_entries=100, btb_l1_assoc=3)
+
+    def test_rejects_negative_two_level_latency(self):
+        with pytest.raises(ValueError):
+            BranchPredictorParams(btb_l2_extra_latency=-1)
+
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            FrontendParams(fetch_width=0)
+        with pytest.raises(ValueError):
+            FrontendParams(predict_width=0)
+
+    def test_rejects_nonpositive_cache_sizes(self):
+        with pytest.raises(ValueError):
+            MemoryParams(l1i_kib=0)
+        with pytest.raises(ValueError):
+            MemoryParams(l2_kib=-1)
