@@ -61,23 +61,25 @@ def flatten_branches(stream: OracleStream) -> list[tuple]:
 
 
 class CommitRecorder:
-    """Chained onto ``CommitTrainer.branch_listener``.
+    """Subscribed to the ``CommitTrainer.add_branch_listener`` hook point.
 
     Compares each trained (committed) branch against the independent
-    expected stream as it happens, failing fast with full context; any
-    previously installed listener (e.g. a prefetcher's commit hook) is
-    chained *after* the comparison so training behaviour is unchanged.
+    expected stream as it happens, failing fast with full context.  It
+    registers with ``first=True`` so the comparison observes each
+    branch before any previously installed listener (e.g. a
+    prefetcher's commit hook) can react; training behaviour is
+    unchanged because the recorder only observes.
     """
 
-    __slots__ = ("expected", "index", "_chained")
+    __slots__ = ("expected", "index")
 
     def __init__(self, trainer, expected: list[tuple]) -> None:
         self.expected = expected
         self.index = 0
-        self._chained = trainer.branch_listener
-        trainer.branch_listener = self.on_branch
+        trainer.add_branch_listener(self.on_branch, first=True)
 
     def on_branch(self, pc: int, kind, taken: bool, target: int) -> None:
+        """Check one committed branch against the oracle stream."""
         i = self.index
         expected = self.expected
         if i >= len(expected):
@@ -95,8 +97,6 @@ class CommitRecorder:
                 f"target={e_target:#x}"
             )
         self.index = i + 1
-        if self._chained is not None:
-            self._chained(pc, kind, taken, target)
 
 
 def _expected_branches_within(stream: OracleStream, committed: int) -> int:

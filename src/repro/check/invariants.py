@@ -26,9 +26,10 @@ O(cache size) sweeps run too: full L1I/L2 structural checks, the
 no-line-both-in-flight-and-resident cross-check, and the
 untouched-prefetch accounting subset property.
 
-Cost when disabled: zero.  ``Simulator.run`` selects the checked cycle
-loop only when a checker is attached; no per-cycle branch is added to
-the ordinary loops.
+Cost when disabled: zero.  The ``invariant_sweep`` hook point of
+:data:`repro.core.schedule.CYCLE_SCHEDULE` is composed into the cycle
+kernel only when a checker is attached; the ordinary kernel carries no
+per-cycle branch for it.
 """
 
 from __future__ import annotations

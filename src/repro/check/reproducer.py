@@ -23,9 +23,7 @@ from pathlib import Path
 from repro.common.params import (
     BranchPredictorParams,
     CoreParams,
-    DirectionPredictorKind,
     FrontendParams,
-    HistoryPolicy,
     MemoryParams,
     SimParams,
 )
@@ -64,11 +62,14 @@ def spec_from_dict(data: dict) -> ProgramSpec:
 
 
 def params_from_dict(data: dict) -> SimParams:
-    """Inverse of :func:`params_to_dict` (restores nested enums too)."""
+    """Inverse of :func:`params_to_dict` (restores nested enums too).
+
+    Component names stay strings: the parameter dataclasses coerce
+    built-in enum values themselves and leave custom registered names
+    (resolved by :mod:`repro.core.build`) untouched.
+    """
     frontend = _fields_from_dict(FrontendParams, data["frontend"])
-    frontend["history_policy"] = HistoryPolicy(frontend["history_policy"])
     branch = _fields_from_dict(BranchPredictorParams, data["branch"])
-    branch["direction_kind"] = DirectionPredictorKind(branch["direction_kind"])
     top = _fields_from_dict(SimParams, data)
     top["frontend"] = FrontendParams(**frontend)
     top["branch"] = BranchPredictorParams(**branch)

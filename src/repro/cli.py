@@ -29,18 +29,19 @@ from pathlib import Path
 
 from repro.common.log import configure as configure_logging
 from repro.common.log import get_logger, level_names
-from repro.common.params import DirectionPredictorKind, HistoryPolicy, SimParams
+from repro.common.params import HistoryPolicy, SimParams
+from repro.core.build import direction_predictors, history_policies
 from repro.core.simulator import simulate
 from repro.experiments.analysis import ALL_ABLATIONS
-from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
-from repro.experiments.report import render_table, render_trace_report
-
-ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
 from repro.experiments.bench import DEFAULT_OUTPUT as _BENCH_OUTPUT
 from repro.experiments.bench import run_bench, write_bench
 from repro.experiments.cache import ResultCache, cache_stats
+from repro.experiments.figures import ALL_EXPERIMENTS as _FIGURES
+from repro.experiments.report import render_table, render_trace_report
 from repro.prefetch import prefetcher_names
 from repro.trace.workloads import default_workloads
+
+ALL_EXPERIMENTS = {**_FIGURES, **ALL_ABLATIONS}
 
 log = get_logger("cli")
 
@@ -59,14 +60,15 @@ def _add_sim_flags(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--btb-latency", type=int, default=2)
     cmd.add_argument(
         "--history",
-        choices=[p.value for p in HistoryPolicy],
+        choices=history_policies.names(),
         default=HistoryPolicy.THR.value,
         help="history management policy (Table V)",
     )
     cmd.add_argument(
         "--direction",
-        choices=[k.value for k in DirectionPredictorKind],
-        default=DirectionPredictorKind.TAGE.value,
+        choices=direction_predictors.names(),
+        default="tage",
+        help="conditional direction predictor (Fig 12)",
     )
     cmd.add_argument("--tage-kib", type=int, default=18, choices=[9, 18, 36])
     cmd.add_argument("--prefetcher", default="none",
@@ -93,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one workload/configuration")
     _add_sim_flags(run)
+    run.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="print the catalogue workload names (one per line) and exit",
+    )
+    run.add_argument(
+        "--list-prefetchers",
+        action="store_true",
+        help="print the registered prefetcher names (one per line) and exit",
+    )
+    run.add_argument(
+        "--list-predictors",
+        action="store_true",
+        help="print the registered direction-predictor names (one per line) and exit",
+    )
     run.add_argument("--stats", action="store_true", help="dump all raw counters")
     run.add_argument(
         "--stats-json",
@@ -198,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _params_from_args(args: argparse.Namespace) -> SimParams:
+    """Build a :class:`SimParams` bundle from parsed CLI flags.
+
+    Component names are passed through as strings; the frozen
+    dataclasses coerce built-in names to their enums and leave custom
+    registered names for the build layer to resolve.
+    """
     params = SimParams(
         warmup_instructions=args.warmup,
         sim_instructions=args.instructions,
@@ -206,14 +229,14 @@ def _params_from_args(args: argparse.Namespace) -> SimParams:
     params = params.with_frontend(
         ftq_entries=args.ftq,
         pfc_enabled=not args.no_pfc,
-        history_policy=HistoryPolicy(args.history),
+        history_policy=args.history,
         predict_width=args.predict_width,
         max_taken_per_cycle=args.max_taken,
     )
     params = params.with_branch(
         btb_entries=args.btb,
         btb_latency=args.btb_latency,
-        direction_kind=DirectionPredictorKind(args.direction),
+        direction_kind=args.direction,
         tage_storage_kib=args.tage_kib,
         perfect_btb=args.perfect_btb,
         perfect_direction=args.perfect_direction,
@@ -221,8 +244,31 @@ def _params_from_args(args: argparse.Namespace) -> SimParams:
     return params
 
 
+def _run_list_flags(args: argparse.Namespace) -> int | None:
+    """Handle ``repro run --list-*`` discovery flags (one name per line).
+
+    Returns an exit code when a list flag was given, ``None`` otherwise.
+    """
+    if getattr(args, "list_workloads", False):
+        for wl in default_workloads():
+            print(wl.name)
+        return 0
+    if getattr(args, "list_prefetchers", False):
+        for name in ["none", "perfect", *prefetcher_names()]:
+            print(name)
+        return 0
+    if getattr(args, "list_predictors", False):
+        for name in direction_predictors.names():
+            print(name)
+        return 0
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Simulate one (workload, configuration) pair and print metrics."""
+    listed = _run_list_flags(args)
+    if listed is not None:
+        return listed
     log.debug("simulating %s (%d+%d instructions)", args.workload, args.warmup, args.instructions)
     result = simulate(args.workload, _params_from_args(args))
     print(result.summary())
@@ -344,7 +390,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Measure cycle-loop throughput and write BENCH_core.json."""
-    from repro.experiments.configs import default_params, evaluation_workloads
+    from repro.experiments.configs import default_params
 
     if args.workloads == "quick":
         workloads = None  # bench default: the quick set

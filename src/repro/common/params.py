@@ -96,8 +96,25 @@ class BranchPredictorParams:
     loop_predictor_entries: int = 0
     """When > 0, a loop predictor (Fig 2) overrides the direction
     predictor on confidently learned counted loops."""
+    btb_variant: str = "auto"
+    """Registered BTB-variant name (:data:`repro.core.build.btb_variants`).
+    ``auto`` selects ``two_level`` when ``btb_l1_entries`` is set and
+    ``single`` otherwise, matching the historical behaviour."""
 
     def __post_init__(self) -> None:
+        if isinstance(self.direction_kind, str) and not isinstance(
+            self.direction_kind, DirectionPredictorKind
+        ):
+            # Accept enum value strings ("tage", ...); other strings are
+            # custom registry names resolved at build time.
+            try:
+                object.__setattr__(
+                    self, "direction_kind", DirectionPredictorKind(self.direction_kind)
+                )
+            except ValueError:
+                pass
+        if self.btb_variant == "two_level" and not self.btb_l1_entries:
+            raise ValueError("btb_variant 'two_level' requires btb_l1_entries > 0")
         if self.btb_entries <= 0 or self.btb_assoc <= 0:
             raise ValueError("BTB geometry must be positive")
         if self.btb_entries % self.btb_assoc:
@@ -140,6 +157,15 @@ class FrontendParams:
     prefetching versus correct-path run-ahead."""
 
     def __post_init__(self) -> None:
+        if isinstance(self.history_policy, str) and not isinstance(
+            self.history_policy, HistoryPolicy
+        ):
+            # Accept enum value strings ("THR", ...); other strings are
+            # custom registry names resolved at build time.
+            try:
+                object.__setattr__(self, "history_policy", HistoryPolicy(self.history_policy))
+            except ValueError:
+                pass
         if self.ftq_entries < 2:
             raise ValueError("FTQ needs at least 2 entries")
         if self.fetch_width < 1 or self.predict_width < 1:

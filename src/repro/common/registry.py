@@ -1,0 +1,104 @@
+"""Uniform component registries.
+
+Every pluggable component family in the simulator -- dedicated
+prefetchers (:mod:`repro.prefetch`), direction predictors, history
+policies and BTB variants (:mod:`repro.core.build`) -- is published
+through a :class:`Registry`: a named mapping from component name to
+factory (or descriptor) with a ``register()`` entry point, so new
+components can be added by any module without editing core code::
+
+    from repro.core.build import direction_predictors
+
+    @direction_predictors.register("always_taken")
+    def _build(branch, hist_bits):
+        return AlwaysTaken()
+
+    params = SimParams().with_branch(direction_kind="always_taken")
+
+Unknown names raise a :class:`ValueError` that lists every registered
+name, so CLI and sweep errors are self-describing.  See
+``docs/ARCHITECTURE.md`` for the extension recipe of each registry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class Registry:
+    """A named mapping of component names to factories/descriptors.
+
+    ``kind`` is a human-readable family name ("prefetcher", "direction
+    predictor", ...) used in error messages.  Entries are usually
+    callables (classes or factory functions) created via
+    :meth:`create`, but plain descriptor objects (e.g. enum members)
+    can be registered too and fetched with :meth:`get`.
+    """
+
+    __slots__ = ("kind", "_entries")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, entry: object = None):
+        """Register ``entry`` under ``name``; usable as a decorator.
+
+        ``register("x", factory)`` registers directly;
+        ``@register("x")`` registers the decorated callable.  Names are
+        unique: re-registering an existing name raises ``ValueError``
+        (use :meth:`unregister` first to replace deliberately).
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string, got {name!r}")
+        if entry is None:
+            def _decorator(obj):
+                self.register(name, obj)
+                return obj
+
+            return _decorator
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> object:
+        """Remove and return the entry for ``name`` (KeyError if absent)."""
+        return self._entries.pop(name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> object:
+        """The registered entry for ``name``; ValueError lists known names."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise ValueError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the factory registered under ``name``."""
+        factory = self.get(name)
+        if not callable(factory):
+            raise TypeError(f"{self.kind} {name!r} is not a factory (registered: {factory!r})")
+        return factory(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"

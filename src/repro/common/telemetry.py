@@ -245,13 +245,10 @@ class Telemetry:
         self._sim = sim
         self._retire_width = sim.params.core.retire_width
         if self.config.events:
-            sim.ftq.telemetry = self
-            sim.bpu.telemetry = self
-            sim.fetch.telemetry = self
-            sim.backend.telemetry = self
-            sim.memory.telemetry = self
-            if sim.prefetcher is not None:
-                sim.prefetcher.telemetry = self
+            # The builder declares which components are observable; the
+            # hub hooks each one rather than hand-listing them here.
+            for component in sim.observables.values():
+                component.telemetry = self
 
     def event(self, kind: str, **payload) -> None:
         """Record one structured event at the current cycle."""

@@ -160,6 +160,29 @@ class CommitTrainer:
         """Optional callable(pc, kind, taken, target) -- prefetchers that
         watch the committed branch stream (e.g. D-JOLT) subscribe here."""
 
+    def add_branch_listener(self, listener, first: bool = False) -> None:
+        """Subscribe ``listener`` to the committed-branch hook point.
+
+        Listeners are called as ``listener(pc, kind, taken, target)``.
+        Multiple listeners compose: a new one runs after those already
+        installed, unless ``first=True`` puts it ahead (the
+        differential recorder uses this to observe each branch before
+        prefetcher training can react to it).  A single listener stays
+        a plain attribute, so the common one-subscriber case pays no
+        dispatch overhead.
+        """
+        current = self.branch_listener
+        if current is None:
+            self.branch_listener = listener
+            return
+        earlier, later = (listener, current) if first else (current, listener)
+
+        def _chained(pc, kind, taken, target, _a=earlier, _b=later):
+            _a(pc, kind, taken, target)
+            _b(pc, kind, taken, target)
+
+        self.branch_listener = _chained
+
     @property
     def commit_pc(self) -> int:
         """Address of the next instruction to commit."""

@@ -4,46 +4,30 @@ Wires together the decoupled FDP frontend (BPU -> FTQ -> fetch), the
 instruction memory hierarchy, an optional dedicated prefetcher, and the
 consuming backend, then runs the oracle stream through it.
 
-Per-cycle stage order (reverse pipeline order so a stage never sees
-work produced in the same cycle):
+Construction is delegated to :class:`repro.core.build.SimBuilder`: every
+pluggable component (direction predictor, history policy, BTB variant,
+dedicated prefetcher) is resolved through its registry, and optional
+subsystems attach through declared hook points (``sim.hooks``,
+``trainer.add_branch_listener``, ``sim.observables``).
 
-1. memory fill completion -> FTQ wakeups
-2. backend retire (may trigger a misprediction flush)
-3. fetch stage (head FTQ entries -> decode queue; PFC fires here)
-4. branch prediction (new FTQ entries)
-5. probe stage (I-TLB + I-cache tag lookups; fills start here) --
-   runs after prediction so freshly pushed entries are probed the same
-   cycle: a shallow FTQ then limits *run-ahead*, not steady-state fetch
-   throughput, matching the paper's no-FDP baseline semantics
-6. dedicated prefetcher tick
-
-Passing a :class:`repro.common.telemetry.Telemetry` object switches the
-run onto an instrumented copy of the cycle loop that feeds per-cycle
-attribution, interval sampling and the event trace; without one the
-original tight loop runs untouched, so untraced results are
-bit-identical to an uninstrumented build.
+The per-cycle stage order lives in one place --
+:data:`repro.core.schedule.CYCLE_SCHEDULE` -- from which
+:func:`repro.core.schedule.build_kernel` specializes the cycle loop for
+this simulator's active features (telemetry / invariant checker /
+prefetcher).  Inactive hooks are not composed in at all, so the
+uninstrumented path keeps bound-locals tight-loop speed, and because
+observers only *observe*, traced and checked runs stay bit-identical to
+plain runs (pinned by the fuzzer's bit-identity properties).
 """
 
 from __future__ import annotations
 
-from repro.branch.btb import BTB
-from repro.branch.btb2l import TwoLevelBTB
-from repro.branch.gshare import Gshare
-from repro.branch.history import HistoryManager
-from repro.branch.ittage import ITTAGE
-from repro.branch.loop import LoopPredictor
-from repro.branch.perceptron import Perceptron
-from repro.branch.tage import TAGE, TageConfig
-from repro.common.params import DirectionPredictorKind, SimParams
+from repro.common.params import SimParams
 from repro.common.stats import StatSet
-from repro.core.backend import Backend, CommitTrainer, DecodeQueue
+from repro.core.build import SimBuilder, resolve_btb_variant
 from repro.core.metrics import RunResult
+from repro.core.schedule import build_kernel
 from repro.core.warmup import functional_warmup
-from repro.frontend.bpu import BranchPredictionUnit
-from repro.frontend.fetch import FetchUnit
-from repro.frontend.ftq import FTQ
-from repro.memory.hierarchy import InstructionMemory
-from repro.prefetch import create_prefetcher
 from repro.trace.cfg import Program
 from repro.trace.oracle import OracleStream
 from repro.trace.workloads import WorkloadSpec, make_trace
@@ -73,108 +57,14 @@ class Simulator:
         self.params = params
         self.program = program
         self.stream = stream
-        self.stats = StatSet()
-
-        self.memory = InstructionMemory(params.memory, self.stats)
-        self._prewarm_l2(program)
-        if params.branch.btb_l1_entries:
-            self.btb = TwoLevelBTB(
-                params.branch.btb_l1_entries,
-                params.branch.btb_l1_assoc,
-                params.branch.btb_entries,
-                params.branch.btb_assoc,
-                params.branch.btb_l2_extra_latency,
-            )
-        else:
-            self.btb = BTB(params.branch.btb_entries, params.branch.btb_assoc)
-        self.ittage = ITTAGE(params.branch.ittage_entries, params.branch.history_bits)
-
-        hist_bits = (
-            params.branch.history_bits
-            if params.frontend.history_policy.uses_target_history
-            else params.branch.direction_history_bits
-        )
-        self.hist_mgr = HistoryManager(params.frontend.history_policy, hist_bits)
-
-        self.direction = self._build_direction_predictor(hist_bits)
-        self.loop = (
-            LoopPredictor(params.branch.loop_predictor_entries)
-            if params.branch.loop_predictor_entries
-            else None
-        )
-
-        self.ftq = FTQ(params.frontend.ftq_entries)
-        self.decode_queue = DecodeQueue(params.frontend.decode_queue_size)
-        self.trainer = CommitTrainer(
-            stream=stream,
-            mgr=self.hist_mgr,
-            btb=self.btb,
-            direction=self.direction,
-            ittage=self.ittage,
-            stats=self.stats,
-            train_direction=not params.branch.perfect_direction,
-            loop=self.loop,
-        )
-        self.backend = Backend(params, self.decode_queue, self.trainer, self.stats, self._on_flush)
-        self.bpu = BranchPredictionUnit(
-            params, program, stream, self.btb, self.direction, self.ittage, self.hist_mgr, self.stats
-        )
-        self.bpu.loop = self.loop
-        self.prefetcher = None
-        if params.prefetcher == "perfect":
-            self.memory.perfect = True
-        elif params.prefetcher != "none":
-            self.prefetcher = create_prefetcher(
-                params.prefetcher,
-                params=params,
-                memory=self.memory,
-                btb=self.btb,
-                program=program,
-                stats=self.stats,
-            )
-            if params.prefetcher == "profile_guided":
-                # Software prefetching: the offline profiling pass runs
-                # over the warmup window only, like training on a
-                # separate profiling run.
-                from repro.prefetch.profile_guided import build_profile
-
-                self.prefetcher.profile = build_profile(
-                    stream,
-                    training_instructions=max(params.warmup_instructions, 1_000),
-                    l1i_lines=params.memory.l1i_lines,
-                    assoc=params.memory.l1i_assoc,
-                    line_bytes=params.memory.line_bytes,
-                )
-            self.trainer.branch_listener = self.prefetcher.on_commit_branch
-        self.fetch = FetchUnit(
-            params=params,
-            program=program,
-            stream=stream,
-            ftq=self.ftq,
-            memory=self.memory,
-            bpu=self.bpu,
-            hist_mgr=self.hist_mgr,
-            direction=self.direction,
-            decode_queue=self.decode_queue,
-            stats=self.stats,
-            prefetcher=self.prefetcher,
-        )
+        self.workload_name = ""
         self.cycle = 0
         self._measuring = False
         self._measure_start_cycle = 0
         self._measure_start_committed = 0
         self.warmup_stats: StatSet | None = None
         """Warmup-window counters, stashed at the measurement boundary."""
-        self.telemetry = telemetry
-        if telemetry is not None:
-            telemetry.attach(self)
-        self.checker = None
-        if params.check_invariants:
-            # Imported lazily: the check layer is opt-in tooling and the
-            # core simulator must not depend on it by default.
-            from repro.check.invariants import InvariantChecker
-
-            self.checker = InvariantChecker(self)
+        SimBuilder(params, program, stream).wire(self, telemetry)
 
     def _fill_lines(self, cache, start: int, end: int) -> None:
         """Fill every cache line overlapping ``[start, end)`` into ``cache``."""
@@ -196,16 +86,6 @@ class Simulator:
         """
         self._fill_lines(self.memory.l2, program.code_start, program.code_end)
 
-    def _build_direction_predictor(self, hist_bits: int):
-        branch = self.params.branch
-        if branch.perfect_direction or branch.direction_kind is DirectionPredictorKind.PERFECT:
-            return None
-        if branch.direction_kind is DirectionPredictorKind.GSHARE:
-            return Gshare(branch.gshare_storage_kib)
-        if branch.direction_kind is DirectionPredictorKind.PERCEPTRON:
-            return Perceptron(branch.gshare_storage_kib)
-        return TAGE(TageConfig.for_budget_kib(branch.tage_storage_kib, hist_bits))
-
     # ------------------------------------------------------------------
     # Flush handling
     # ------------------------------------------------------------------
@@ -215,8 +95,7 @@ class Simulator:
         self.decode_queue.flush()
         self.memory.flush_waiters()
         self.bpu.ras.copy_from(self.trainer.arch_ras)
-        if self.loop is not None:
-            self.loop.flush_spec()
+        self.hooks.run_spec_sync()
         if self.trainer.seg_idx >= len(self.stream.segments):
             return  # stream exhausted; the run is about to end
         self.bpu.resteer(
@@ -231,6 +110,7 @@ class Simulator:
     # Measurement window
     # ------------------------------------------------------------------
     def _begin_measurement(self) -> None:
+        """Swap in fresh counters at the warmup -> measurement boundary."""
         self._measuring = True
         self._measure_start_cycle = self.cycle
         self._measure_start_committed = self.backend.committed
@@ -248,6 +128,41 @@ class Simulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    def active_features(self) -> frozenset[str]:
+        """The schedule features active on this simulator.
+
+        Selects which cycle kernel :meth:`run` executes; see
+        :data:`repro.core.schedule.FEATURES`.
+        """
+        features = set()
+        if self.telemetry is not None:
+            features.add("telemetry")
+        if self.checker is not None:
+            features.add("checker")
+        if self.prefetcher is not None:
+            features.add("prefetcher")
+        return frozenset(features)
+
+    def _livelock_error(self, target: int) -> RuntimeError:
+        """Build the livelock RuntimeError with full run attribution.
+
+        Includes the workload name, committed/target progress and the
+        key parameters so a failure inside a sweep worker is
+        attributable without re-running it.
+        """
+        params = self.params
+        policy = params.frontend.history_policy
+        return RuntimeError(
+            f"livelock: workload {self.workload_name or '<unnamed>'!r} "
+            f"[{params.label()}] stuck after {self.cycle} cycles with "
+            f"{self.backend.committed}/{target} instructions committed "
+            f"(warmup={params.warmup_instructions}, sim={params.sim_instructions}); "
+            f"prefetcher={params.prefetcher!r}, "
+            f"ftq_entries={params.frontend.ftq_entries}, "
+            f"btb={resolve_btb_variant(params.branch)}/{params.branch.btb_entries}, "
+            f"history={getattr(policy, 'value', policy)!r}"
+        )
+
     def run(self, workload_name: str = "") -> RunResult:
         """Simulate warmup + measurement windows; return the result.
 
@@ -256,8 +171,13 @@ class Simulator:
         and starts the cycle-accurate loop at the measurement boundary;
         ``"cycle"`` (and ``"auto"``, for this direct API) warms through
         the full pipeline as before.
+
+        The cycle loop itself is the schedule-specialized kernel for
+        this simulator's :meth:`active_features`.
         """
         params = self.params
+        if workload_name:
+            self.workload_name = workload_name
         target = params.warmup_instructions + params.sim_instructions
         warmup = params.warmup_instructions
         guard = _CYCLE_GUARD_FACTOR * target + 100_000
@@ -269,12 +189,8 @@ class Simulator:
         ):
             functional_warmup(self)
             self._begin_measurement()
-        if self.checker is not None:
-            self._loop_checked(target, warmup, guard)
-        elif self.telemetry is not None:
-            self._loop_instrumented(target, warmup, guard)
-        else:
-            self._loop(target, warmup, guard)
+        kernel = build_kernel(self.active_features())
+        kernel(self, target, warmup, guard)
         if not self._measuring:
             self._begin_measurement()
         instructions = self.backend.committed - self._measure_start_committed
@@ -293,150 +209,13 @@ class Simulator:
             self.checker.check_end(result)
         return result
 
-    def _loop(self, target: int, warmup: int, guard: int) -> None:
-        """The uninstrumented cycle loop (the simulator's hot path).
-
-        Binds the per-stage methods and collaborating objects once so
-        each iteration pays local loads instead of repeated attribute
-        lookups.  Bound methods stay valid across the
-        measurement-boundary stats swap (only ``.stats`` attributes are
-        replaced, never the objects).
-        """
-        backend = self.backend
-        ftq = self.ftq
-        memory_tick = self.memory.tick
-        complete_fills = self.fetch.complete_fills
-        backend_cycle = backend.cycle
-        fetch_stage = self.fetch.fetch_stage
-        bpu_cycle = self.bpu.cycle
-        probe_stage = self.fetch.probe_stage
-        prefetcher = self.prefetcher
-        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
-        cycle = self.cycle
-        while backend.committed < target:
-            fills = memory_tick(cycle)
-            if fills:
-                complete_fills(fills, cycle)
-            backend_cycle(cycle)
-            if not self._measuring and backend.committed >= warmup:
-                self.cycle = cycle
-                self._begin_measurement()
-            fetch_stage(cycle)
-            bpu_cycle(cycle, ftq)
-            probe_stage(cycle)
-            if prefetcher_cycle is not None:
-                prefetcher_cycle(cycle)
-            cycle += 1
-            if cycle > guard:
-                self.cycle = cycle
-                raise RuntimeError(
-                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
-                )
-        self.cycle = cycle
-
-    def _loop_instrumented(self, target: int, warmup: int, guard: int) -> None:
-        """The telemetry variant of :meth:`_loop`.
-
-        Identical simulation semantics -- telemetry only *observes* --
-        plus, per cycle: the hub's clock (``tel.now``) is refreshed
-        before any stage can emit an event, and ``tel.tick`` runs right
-        after the backend stage with the cycle's correct-path retire
-        count, which is all cycle accounting and interval sampling need.
-        """
-        tel = self.telemetry
-        backend = self.backend
-        ftq = self.ftq
-        memory_tick = self.memory.tick
-        complete_fills = self.fetch.complete_fills
-        backend_cycle = backend.cycle
-        fetch_stage = self.fetch.fetch_stage
-        bpu_cycle = self.bpu.cycle
-        probe_stage = self.fetch.probe_stage
-        prefetcher = self.prefetcher
-        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
-        tel_tick = tel.tick
-        cycle = self.cycle
-        while backend.committed < target:
-            tel.now = cycle
-            fills = memory_tick(cycle)
-            if fills:
-                complete_fills(fills, cycle)
-            before = backend.committed
-            backend_cycle(cycle)
-            if not self._measuring and backend.committed >= warmup:
-                self.cycle = cycle
-                self._begin_measurement()
-            tel_tick(cycle, backend.committed - before, self._measuring)
-            fetch_stage(cycle)
-            bpu_cycle(cycle, ftq)
-            probe_stage(cycle)
-            if prefetcher_cycle is not None:
-                prefetcher_cycle(cycle)
-            cycle += 1
-            if cycle > guard:
-                self.cycle = cycle
-                raise RuntimeError(
-                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
-                )
-        self.cycle = cycle
-
-
-    def _loop_checked(self, target: int, warmup: int, guard: int) -> None:
-        """The invariant-checking variant of :meth:`_loop` (repro check).
-
-        Simulation semantics are identical -- the checker only observes,
-        so results stay bit-identical to the other loops -- with an
-        invariant sweep at the end of every cycle.  An attached
-        telemetry hub is supported too (its hooks run at the same points
-        as in :meth:`_loop_instrumented`), so traced runs can be checked.
-        """
-        tel = self.telemetry
-        checker = self.checker
-        backend = self.backend
-        ftq = self.ftq
-        memory_tick = self.memory.tick
-        complete_fills = self.fetch.complete_fills
-        backend_cycle = backend.cycle
-        fetch_stage = self.fetch.fetch_stage
-        bpu_cycle = self.bpu.cycle
-        probe_stage = self.fetch.probe_stage
-        prefetcher = self.prefetcher
-        prefetcher_cycle = prefetcher.cycle if prefetcher is not None else None
-        check_cycle = checker.check_cycle
-        cycle = self.cycle
-        while backend.committed < target:
-            if tel is not None:
-                tel.now = cycle
-            fills = memory_tick(cycle)
-            if fills:
-                complete_fills(fills, cycle)
-            before = backend.committed
-            backend_cycle(cycle)
-            if not self._measuring and backend.committed >= warmup:
-                self.cycle = cycle
-                self._begin_measurement()
-            if tel is not None:
-                tel.tick(cycle, backend.committed - before, self._measuring)
-            fetch_stage(cycle)
-            bpu_cycle(cycle, ftq)
-            probe_stage(cycle)
-            if prefetcher_cycle is not None:
-                prefetcher_cycle(cycle)
-            check_cycle(cycle)
-            cycle += 1
-            if cycle > guard:
-                self.cycle = cycle
-                raise RuntimeError(
-                    f"livelock: {cycle} cycles, {backend.committed}/{target} committed"
-                )
-        self.cycle = cycle
-
 
 def simulate(workload: WorkloadSpec | str, params: SimParams, telemetry=None) -> RunResult:
     """Convenience wrapper: generate the trace and run one simulation.
 
     ``telemetry`` (a :class:`repro.common.telemetry.Telemetry`) opts the
-    run into the instrumented cycle loop; ``None`` keeps the fast path.
+    run into the telemetry-instrumented cycle kernel; ``None`` keeps the
+    uninstrumented fast path.
     """
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(workload, n)

@@ -79,10 +79,10 @@ def functional_warmup(sim) -> None:
 
     # 3. Synchronise speculative state with the trained architectural
     #    state, exactly like a pipeline-flush recovery at the boundary.
-    if sim.loop is not None:
-        sim.loop.flush_spec()
-    if sim.prefetcher is not None:
-        sim.prefetcher.reset_queue()
+    #    The declared hook points carry the subsystem-specific work
+    #    (loop-predictor flush_spec via spec_sync, prefetcher
+    #    reset_queue via warmup_boundary).
+    sim.hooks.run_warmup_boundary()
     bpu = sim.bpu
     bpu.ras.copy_from(trainer.arch_ras)
     bpu.resteer(

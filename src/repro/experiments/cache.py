@@ -37,7 +37,7 @@ from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
 from repro.trace.workloads import WorkloadSpec, workload_by_name
 
-SIM_SCHEMA_VERSION = 3
+SIM_SCHEMA_VERSION = 4
 """Bump when simulator/trace/predictor changes can alter RunResults.
 
 v2: the sweep runner defaults ``SimParams.warmup_mode`` to
@@ -49,6 +49,9 @@ layer), changing parameter fingerprints; ``REPRO_CHECK`` is resolved
 before keying, so checked and unchecked sweep results never share
 entries (they are bit-identical, but a checked sweep must actually run
 the checker).
+
+v4: ``BranchPredictorParams`` grew ``btb_variant`` (the registry-driven
+build layer), changing parameter fingerprints.
 """
 
 _ENV_DIR = "REPRO_CACHE_DIR"

@@ -12,7 +12,6 @@ See DESIGN.md section 4 for the experiment index.
 
 from __future__ import annotations
 
-import dataclasses
 
 from repro.common.params import DirectionPredictorKind, HistoryPolicy, SimParams
 from repro.core.metrics import FTQ_FIELD_BITS, ftq_storage_bytes

@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.common.log import get_logger
 from repro.common.params import WARMUP_MODES, SimParams
 from repro.common.stats import amean, geomean
+from repro.core.build import resolve_components
 from repro.core.metrics import RunResult
 from repro.core.simulator import simulate
 from repro.experiments.cache import CACHE_STATS, ResultCache, cache_enabled, run_key
@@ -86,7 +87,13 @@ def resolve_check_mode(params: SimParams) -> SimParams:
 
 
 def _resolve(params: SimParams) -> SimParams:
-    """All environment overrides, in cache-key order."""
+    """All environment overrides, in cache-key order.
+
+    Also resolves every registry-named component up front, so an
+    unknown prefetcher/predictor/BTB-variant name fails fast in the
+    submitting process instead of inside a sweep worker.
+    """
+    resolve_components(params)
     return resolve_check_mode(resolve_warmup_mode(params))
 
 

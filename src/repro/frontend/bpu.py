@@ -16,6 +16,11 @@ Perfect-predictor modes (Figs 1/6a/12) consult the oracle directly
 while the BPU is on the correct path; on the wrong path they fall back
 to 'not taken' / no target, which is the only meaningful semantics for
 an oracle.
+
+Stage interface: the ``predict`` stage of
+:data:`repro.core.schedule.CYCLE_SCHEDULE` binds ``cycle(cycle, ftq)``
+once before the loop starts (conformance pinned by
+``validate_stage_interfaces``).
 """
 
 from __future__ import annotations

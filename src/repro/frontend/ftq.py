@@ -9,11 +9,15 @@ PFC adds.  The remaining attributes are simulator bookkeeping (history
 snapshots, oracle cursor, miss-classification flags), not hardware
 state; :func:`entry_storage_bits` in :mod:`repro.core.metrics` computes
 the real 195-byte cost from the architectural fields alone.
+
+Stage interface: the ``predict`` stage of
+:data:`repro.core.schedule.CYCLE_SCHEDULE` binds the FTQ object itself
+(it is passed to ``bpu.cycle`` every cycle).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only

@@ -1,10 +1,21 @@
 """Dedicated instruction prefetchers and the BTB prefetcher (Section V).
 
-``create_prefetcher`` is the registry the simulator uses; the special
-names ``"none"`` and ``"perfect"`` are handled by the simulator itself
-(no prefetcher object / instant-fill memory).
+The prefetcher zoo is published through :data:`prefetchers`, a
+:class:`repro.common.registry.Registry` shared-shape with the builder
+registries in :mod:`repro.core.build`.  ``create_prefetcher`` is the
+constructor the builder uses; the special names ``"none"`` and
+``"perfect"`` are handled by the build layer itself (no prefetcher
+object / instant-fill memory).  New prefetchers register themselves
+without touching core code::
+
+    from repro.prefetch import prefetchers
+
+    @prefetchers.register("my_pf")
+    class MyPrefetcher(Prefetcher):
+        ...
 """
 
+from repro.common.registry import Registry
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.djolt import DJoltPrefetcher
 from repro.prefetch.eip import EIP27, EIP128, EIPPrefetcher
@@ -14,33 +25,32 @@ from repro.prefetch.profile_guided import ProfileGuidedPrefetcher, build_profile
 from repro.prefetch.rdip import RDIPPrefetcher
 from repro.prefetch.sn4l_dis_btb import SN4LDisBTBPrefetcher, SN4LDisPrefetcher
 
-_REGISTRY: dict[str, type[Prefetcher]] = {
-    "nl1": NextLinePrefetcher,
-    "eip128": EIP128,
-    "eip27": EIP27,
-    "fnl_mma": FNLMMAPrefetcher,
-    "djolt": DJoltPrefetcher,
-    "rdip": RDIPPrefetcher,
-    "sn4l_dis": SN4LDisPrefetcher,
-    "sn4l_dis_btb": SN4LDisBTBPrefetcher,
-    "profile_guided": ProfileGuidedPrefetcher,
-}
+prefetchers = Registry("prefetcher")
+"""Registry of dedicated-prefetcher factories, keyed by CLI/params name.
+
+Factories are called as ``factory(params, memory, btb, program, stats)``
+(the :class:`~repro.prefetch.base.Prefetcher` constructor signature).
+"""
+
+prefetchers.register("nl1", NextLinePrefetcher)
+prefetchers.register("eip128", EIP128)
+prefetchers.register("eip27", EIP27)
+prefetchers.register("fnl_mma", FNLMMAPrefetcher)
+prefetchers.register("djolt", DJoltPrefetcher)
+prefetchers.register("rdip", RDIPPrefetcher)
+prefetchers.register("sn4l_dis", SN4LDisPrefetcher)
+prefetchers.register("sn4l_dis_btb", SN4LDisBTBPrefetcher)
+prefetchers.register("profile_guided", ProfileGuidedPrefetcher)
 
 
 def prefetcher_names() -> list[str]:
     """All registered dedicated-prefetcher names."""
-    return sorted(_REGISTRY)
+    return prefetchers.names()
 
 
 def create_prefetcher(name: str, *, params, memory, btb, program, stats) -> Prefetcher:
     """Instantiate a registered prefetcher by name."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown prefetcher {name!r}; known: {', '.join(prefetcher_names())}"
-        ) from None
-    return cls(params, memory, btb, program, stats)
+    return prefetchers.create(name, params, memory, btb, program, stats)
 
 
 __all__ = [
@@ -58,4 +68,5 @@ __all__ = [
     "build_profile",
     "create_prefetcher",
     "prefetcher_names",
+    "prefetchers",
 ]

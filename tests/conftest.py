@@ -6,6 +6,11 @@ import tempfile
 
 import pytest
 
+from repro.common.params import SimParams
+from repro.isa.instructions import BranchKind, Instruction
+from repro.trace.cfg import Program, ProgramSpec, generate_program
+from repro.trace.oracle import OracleStream, Segment, run_oracle
+
 
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_result_cache():
@@ -37,11 +42,6 @@ def _clean_repro_env(monkeypatch):
     for name in ("REPRO_WARMUP_MODE", "REPRO_JOBS", "REPRO_CHECK", "REPRO_CACHE",
                  "REPRO_LOG", "REPRO_WORKLOADS", "REPRO_WARMUP", "REPRO_SIM"):
         monkeypatch.delenv(name, raising=False)
-
-from repro.common.params import SimParams
-from repro.isa.instructions import BranchKind, Instruction
-from repro.trace.cfg import Program, ProgramSpec, generate_program
-from repro.trace.oracle import OracleStream, Segment, run_oracle
 
 
 def tiny_spec(**overrides) -> ProgramSpec:

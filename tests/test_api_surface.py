@@ -45,8 +45,11 @@ MODULES = [
     "repro.prefetch.profile_guided",
     "repro.prefetch.rdip",
     "repro.prefetch.sn4l_dis_btb",
+    "repro.common.registry",
     "repro.core.backend",
+    "repro.core.build",
     "repro.core.metrics",
+    "repro.core.schedule",
     "repro.core.simulator",
     "repro.experiments.analysis",
     "repro.experiments.bench",

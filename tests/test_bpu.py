@@ -1,6 +1,5 @@
 """Tests for the branch prediction unit and fault computation."""
 
-import pytest
 
 from repro.branch.btb import BTB
 from repro.branch.history import HistoryManager

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.isa.instructions import BranchKind
 from repro.trace.behaviors import LoopBehaviour
-from repro.trace.cfg import ProgramSpec, generate_program
+from repro.trace.cfg import generate_program
 from tests.conftest import tiny_spec
 
 

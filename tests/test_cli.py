@@ -30,6 +30,27 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestRunListFlags:
+    def test_list_workloads(self, capsys):
+        assert main(["run", "--list-workloads"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "srv_web" in lines
+        assert all(" " not in line for line in lines)
+
+    def test_list_prefetchers(self, capsys):
+        assert main(["run", "--list-prefetchers"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "none" in lines
+        assert "perfect" in lines
+        assert "eip128" in lines
+        assert all(" " not in line for line in lines)
+
+    def test_list_predictors(self, capsys):
+        assert main(["run", "--list-predictors"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == sorted(["gshare", "perceptron", "perfect", "tage"])
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,6 +1,5 @@
 """Tests for the fetch pipeline and Post-Fetch Correction."""
 
-import pytest
 
 from repro.branch.btb import BTB
 from repro.branch.history import HistoryManager
@@ -8,7 +7,7 @@ from repro.branch.ittage import ITTAGE
 from repro.common.params import HistoryPolicy, SimParams
 from repro.common.stats import StatSet
 from repro.core.backend import DecodeQueue
-from repro.frontend.bpu import WRONG_PATH, BranchPredictionUnit
+from repro.frontend.bpu import BranchPredictionUnit
 from repro.frontend.fetch import FetchUnit
 from repro.frontend.ftq import FTQ, STATE_AWAIT_FILL, STATE_READY
 from repro.isa.instructions import BranchKind, Instruction

@@ -6,11 +6,9 @@ entries, returns through the speculative RAS, ITTAGE-driven indirect
 prediction, and IDEAL-history bookkeeping.
 """
 
-import pytest
 
 from repro.common.params import HistoryPolicy, SimParams
 from repro.core.simulator import Simulator
-from repro.frontend.bpu import WRONG_PATH
 from repro.isa.instructions import BranchKind, Instruction
 from repro.trace.cfg import generate_program
 from repro.trace.oracle import run_oracle

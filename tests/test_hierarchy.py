@@ -1,6 +1,5 @@
 """Tests for the instruction memory hierarchy (repro.memory.hierarchy)."""
 
-import pytest
 
 from repro.common.params import MemoryParams
 from repro.common.stats import StatSet

@@ -58,7 +58,6 @@ def test_ghr0_loses_only_undetected_not_taken(branches):
     """GHR0's history equals the full direction history with undetected
     not-taken branches deleted."""
     mgr = HistoryManager(HistoryPolicy.GHR0, 256)
-    full = HistoryManager(HistoryPolicy.IDEAL, 256)
     h = 0
     reference_bits = []
     for i, (pc4, taken, tgt4) in enumerate(branches):

@@ -47,6 +47,28 @@ class TestBranchPredictorParams:
         with pytest.raises(ValueError):
             BranchPredictorParams(btb_entries=-4)
 
+    def test_direction_kind_string_coerced(self):
+        p = BranchPredictorParams(direction_kind="gshare")
+        assert p.direction_kind is DirectionPredictorKind.GSHARE
+
+    def test_direction_kind_custom_string_kept(self):
+        # Unknown names stay strings: resolved (or rejected) by the
+        # registry at build time, so plugins can register new kinds.
+        assert BranchPredictorParams(direction_kind="my_plugin").direction_kind == "my_plugin"
+
+    def test_btb_variant_default_auto(self):
+        assert BranchPredictorParams().btb_variant == "auto"
+
+    def test_btb_variant_two_level_requires_l1(self):
+        with pytest.raises(ValueError, match="btb_l1_entries"):
+            BranchPredictorParams(btb_variant="two_level")
+        p = BranchPredictorParams(btb_variant="two_level", btb_l1_entries=64)
+        assert p.btb_variant == "two_level"
+
+    def test_history_policy_string_coerced(self):
+        f = FrontendParams(history_policy="GHR2")
+        assert f.history_policy is HistoryPolicy.GHR2
+
 
 class TestFrontendParams:
     def test_fdp_enabled_by_depth(self):

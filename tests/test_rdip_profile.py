@@ -1,6 +1,5 @@
 """Tests for RDIP and profile-guided software prefetching."""
 
-import pytest
 
 from repro.common.params import SimParams
 from repro.core.simulator import Simulator, simulate

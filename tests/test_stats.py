@@ -1,6 +1,5 @@
 """Unit tests for repro.common.stats."""
 
-import math
 
 import pytest
 from hypothesis import given

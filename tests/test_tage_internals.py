@@ -1,7 +1,6 @@
 """Deeper tests of TAGE internals: usefulness bits, alternate
 prediction, periodic aging, and allocation discipline."""
 
-import pytest
 
 from repro.branch.tage import TAGE, TageConfig
 
