@@ -21,6 +21,7 @@ from repro.check.differential import (
     DifferentialDivergence,
     DifferentialReport,
     check_workload,
+    check_workload_batched,
     run_differential,
 )
 from repro.check.fuzz import FuzzFailure, FuzzReport, FuzzTrial, build_trial, fuzz, replay
@@ -38,6 +39,7 @@ __all__ = [
     "InvariantViolation",
     "build_trial",
     "check_workload",
+    "check_workload_batched",
     "fuzz",
     "load_reproducer",
     "replay",

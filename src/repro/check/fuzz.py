@@ -13,6 +13,9 @@ simulator under the full correctness harness:
   oracle (:mod:`repro.check.differential`);
 * **checked == unchecked** -- a plain re-run must be bit-identical in
   every counter (the check layer only observes);
+* **batched == scalar** -- a two-instance lockstep batch
+  (:mod:`repro.core.batch`) must reproduce the plain scalar run
+  bit-identically, instance by instance;
 * **traced == untraced** -- a telemetry re-run must match once the
   telemetry-only counters are stripped;
 * **functional == cycle warmup** -- measured IPC of the two warmup
@@ -46,6 +49,8 @@ from repro.common.params import (
     SimParams,
 )
 from repro.common.telemetry import Telemetry, TelemetryConfig
+from repro.core.batch import batchable
+from repro.core.batch import run_batch as batch_run
 from repro.core.simulator import Simulator
 from repro.prefetch import prefetcher_names
 from repro.trace.cfg import ProgramSpec, generate_program
@@ -305,6 +310,28 @@ def run_trial(trial: FuzzTrial, pool: ProcessPoolExecutor | None = None) -> Fuzz
             f"checked run differs from unchecked: cycles {result.cycles} vs "
             f"{plain.cycles}, instructions {result.instructions} vs {plain.instructions}",
         )
+
+    # Property 7 (ordering: needs `plain` from property 2): the lockstep
+    # batch path is bit-identical to scalar execution.  Two instances of
+    # the plain config advance in lockstep via the stepping kernel; each
+    # must reproduce the scalar run exactly.
+    plain_params = trial.params.replace(check_invariants=False)
+    if batchable(plain_params)[0]:
+        batch_sims = [Simulator(plain_params, program, stream) for _ in range(2)]
+        batch_results = batch_run(batch_sims)
+        for b in batch_results:
+            if (
+                b.cycles != plain.cycles
+                or b.instructions != plain.instructions
+                or b.stats.as_dict() != plain.stats.as_dict()
+            ):
+                return FuzzFailure(
+                    trial,
+                    "batched_scalar_identity",
+                    f"batched run differs from scalar: cycles {b.cycles} vs "
+                    f"{plain.cycles}, instructions {b.instructions} vs "
+                    f"{plain.instructions}",
+                )
 
     # Property 3: telemetry only observes (traced == untraced).
     tel = Telemetry(TelemetryConfig(interval_stride=2_000, ring_capacity=256))

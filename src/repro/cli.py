@@ -155,11 +155,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="use functional fast-forward warmup (warmup_mode=functional)",
     )
     bench.add_argument(
+        "--batched",
+        action="store_true",
+        help="benchmark the lockstep batch path (repro.core.batch) instead "
+        "of one scalar instance per workload",
+    )
+    bench.add_argument(
+        "--batch-width",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instances per lockstep batch for --batched (default 4)",
+    )
+    bench.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to BENCH_history.jsonl",
+    )
+    bench.add_argument(
         "--baseline",
         metavar="BENCH_JSON",
         default=None,
         help="compare against a previous BENCH_core.json; exit non-zero "
-        "if the aggregate rate regressed by more than 20%%",
+        "if any workload's rate regressed by more than 20%%",
     )
 
     check = sub.add_parser(
@@ -206,6 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="re-run a failure reproducer JSON instead of fuzzing",
+    )
+    check.add_argument(
+        "--batched",
+        action="store_true",
+        help="catalogue mode only: check the lockstep batch path "
+        "(differential + batched-vs-scalar bit-identity) instead of the "
+        "scalar + invariant path",
     )
 
     cache = sub.add_parser("cache", help="manage the persistent result cache")
@@ -408,11 +433,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         params = params.replace(warmup_instructions=args.warmup)
     if args.instructions is not None:
         params = params.replace(sim_instructions=args.instructions)
+    from repro.experiments.bench import DEFAULT_BENCH_BATCH_WIDTH, append_history
+
     payload = run_bench(
         workloads=workloads,
         params=params,
         repeats=args.repeats,
         fast_warmup=args.fast_warmup,
+        batched=args.batched,
+        batch_width=args.batch_width or DEFAULT_BENCH_BATCH_WIDTH,
     )
     path = write_bench(payload, args.output or _BENCH_OUTPUT)
     for name, row in payload["workloads"].items():
@@ -421,8 +450,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"({row['wall_seconds']:.2f}s, IPC={row['ipc']:.2f})"
         )
     agg = payload["aggregate"]
+    mode = payload["config"]["mode"]
+    print(f"{'GEOMEAN':14s} {agg['geomean_instructions_per_second']:>12,.0f} instrs/sec ({mode})")
     print(f"{'TOTAL':14s} {agg['instructions_per_second']:>12,.0f} instrs/sec")
     print(f"wrote {path}")
+    if not args.no_history:
+        print(f"appended to {append_history(payload)}")
     if args.baseline:
         return _bench_compare(payload, args.baseline)
     return 0
@@ -444,11 +477,12 @@ def _bench_compare(payload: dict, baseline_path: str) -> int:
         print(f"  {name:14s} {shown}")
     agg = cmp["aggregate"]
     shown = f"{100.0 * agg:+.1f}%" if agg is not None else "n/a"
-    print(f"  {'AGGREGATE':14s} {shown}")
+    print(f"  {'GEOMEAN':14s} {shown}")
     if cmp["regressed"]:
         log.error(
-            "aggregate throughput regressed more than %.0f%% vs baseline",
+            "throughput regressed more than %.0f%% vs baseline on: %s",
             100.0 * cmp["threshold"],
+            ", ".join(cmp["regressed_workloads"]),
         )
         return 1
     return 0
@@ -464,8 +498,18 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def _check_catalogue(args: argparse.Namespace) -> int:
-    """Differential + invariant check of catalogue workloads."""
-    from repro.check import DifferentialDivergence, check_workload
+    """Differential + invariant check of catalogue workloads.
+
+    ``--batched`` swaps each workload's check onto the lockstep batch
+    path: differential oracle agreement for every batch member plus
+    batched-vs-scalar bit-identity, with the (scalar-only) per-cycle
+    invariant layer replaced by that identity check.
+    """
+    from repro.check import (
+        DifferentialDivergence,
+        check_workload,
+        check_workload_batched,
+    )
     from repro.check.invariants import InvariantViolation
     from repro.experiments.configs import QUICK_WORKLOADS, default_params
 
@@ -483,22 +527,24 @@ def _check_catalogue(args: argparse.Namespace) -> int:
     params = default_params().replace(
         warmup_instructions=args.warmup, sim_instructions=args.instructions
     )
+    check = check_workload_batched if args.batched else check_workload
+    mode = " (batched)" if args.batched else ""
     failures = 0
     for name in names:
         try:
-            report = check_workload(name, params)
+            report = check(name, params)
         except (DifferentialDivergence, InvariantViolation) as exc:
             failures += 1
-            print(f"{name:14s} FAIL\n{exc}")
+            print(f"{name:14s} FAIL{mode}\n{exc}")
             continue
         print(
-            f"{name:14s} ok  ({report.branches_checked} branches, "
+            f"{name:14s} ok{mode}  ({report.branches_checked} branches, "
             f"{report.committed_instructions} instructions checked)"
         )
     if failures:
         log.error("%d of %d workloads failed the differential check", failures, len(names))
         return 1
-    print(f"all {len(names)} workload(s) clean")
+    print(f"all {len(names)} workload(s) clean{mode}")
     return 0
 
 

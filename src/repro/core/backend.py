@@ -27,6 +27,7 @@ from repro.common.params import SimParams
 from repro.common.stats import StatSet
 from repro.frontend.bpu import Fault
 from repro.isa.instructions import BranchKind
+from repro.trace.fbmeta import stream_meta
 from repro.trace.oracle import OracleStream
 
 
@@ -122,11 +123,10 @@ class CommitTrainer:
         "loop",
         "arch_ras",
         "arch_hist",
-        "seg_idx",
-        "pos",
-        "br_ptr",
+        "flat_br",
         "committed",
         "branch_listener",
+        "_smeta",
     )
 
     def __init__(
@@ -152,11 +152,13 @@ class CommitTrainer:
         self.loop = loop
         self.arch_ras = ReturnAddressStack()
         self.arch_hist = 0
-        self.seg_idx = 0
-        self.pos = 0
-        self.br_ptr = 0
+        self.flat_br = 0
+        """Flat cursor into the stream's commit-order branch arrays
+        (:class:`repro.trace.fbmeta.StreamMeta`): branches below it have
+        trained, branches at or above it have not."""
         self.committed = 0
         self.branch_listener = None
+        self._smeta = stream_meta(stream)
         """Optional callable(pc, kind, taken, target) -- prefetchers that
         watch the committed branch stream (e.g. D-JOLT) subscribe here."""
 
@@ -183,35 +185,74 @@ class CommitTrainer:
 
         self.branch_listener = _chained
 
+    # ------------------------------------------------------------------
+    # Derived cursors
+    #
+    # The trainer's architectural position is fully determined by
+    # ``committed`` (instructions) and ``flat_br`` (branches); the
+    # segment-relative cursors the flush path and the invariant checker
+    # read are derived on demand instead of maintained per step.
+    # ------------------------------------------------------------------
+    @property
+    def seg_idx(self) -> int:
+        """Index of the segment holding the next instruction to commit
+        (``len(segments)`` once the stream is exhausted)."""
+        stream = self.stream
+        if self.committed >= stream.total_instructions:
+            return len(stream.segments)
+        return stream.segment_at_instruction(self.committed)
+
+    @property
+    def pos(self) -> int:
+        """Committed instructions within the current segment."""
+        stream = self.stream
+        c = self.committed
+        if c >= stream.total_instructions:
+            return 0
+        return c - stream.cumulative[stream.segment_at_instruction(c)]
+
+    @property
+    def br_ptr(self) -> int:
+        """Trained branches within the current segment."""
+        idx = self.seg_idx
+        first = self._smeta.seg_first_br
+        if idx >= len(first) - 1:
+            return 0
+        return self.flat_br - first[idx]
+
     @property
     def commit_pc(self) -> int:
         """Address of the next instruction to commit."""
-        seg = self.stream.segments[self.seg_idx]
-        return seg.start + 4 * self.pos
+        stream = self.stream
+        idx = self.seg_idx
+        seg = stream.segments[idx]
+        return seg.start + 4 * (self.committed - stream.cumulative[idx])
 
     def advance(self, n: int) -> None:
-        """Commit ``n`` oracle instructions, training along the way."""
-        segments = self.stream.segments
-        while n > 0:
-            if self.seg_idx >= len(segments):
-                raise RuntimeError("commit ran past the oracle stream")
-            seg = segments[self.seg_idx]
-            step = min(n, seg.n_instrs - self.pos)
-            new_pos = self.pos + step
-            branches = seg.branches
-            while self.br_ptr < len(branches):
-                addr, kind, taken, target = branches[self.br_ptr]
-                if ((addr - seg.start) >> 2) >= new_pos:
-                    break
-                self._train(addr, kind, taken, target)
-                self.br_ptr += 1
-            self.pos = new_pos
-            self.committed += step
-            n -= step
-            if self.pos >= seg.n_instrs:
-                self.seg_idx += 1
-                self.pos = 0
-                self.br_ptr = 0
+        """Commit ``n`` oracle instructions, training along the way.
+
+        One flat sweep over the stream's commit-order branch arrays:
+        a branch trains exactly when its global commit index falls
+        below the new committed count, which is the same condition the
+        per-segment walk evaluated segment-locally.
+        """
+        new_committed = self.committed + n
+        if new_committed > self.stream.total_instructions:
+            raise RuntimeError("commit ran past the oracle stream")
+        smeta = self._smeta
+        commits = smeta.br_commit
+        addrs = smeta.br_addr
+        kinds = smeta.br_kind
+        takens = smeta.br_taken
+        targets = smeta.br_target
+        train = self._train
+        ptr = self.flat_br
+        n_br = len(commits)
+        while ptr < n_br and commits[ptr] < new_committed:
+            train(addrs[ptr], kinds[ptr], takens[ptr], targets[ptr])
+            ptr += 1
+        self.flat_br = ptr
+        self.committed = new_committed
 
     def _train(self, addr: int, kind: BranchKind, taken: bool, target: int) -> None:
         stats = self.stats

@@ -19,13 +19,19 @@ order     point               kind         active when
 9         probe               stage        always
 10        prefetch            stage        a dedicated prefetcher is built
 11        invariant_sweep     hook         ``params.check_invariants``
-12        livelock_guard      hook         always
+12        idle_skip           hook         no telemetry/checker/prefetcher
+13        livelock_guard      hook         always
 ========  ==================  ===========  =================================
 
 :func:`build_kernel` *specializes* one loop body from the schedule at
 ``Simulator`` construction time: it composes only the points whose
 feature is active into Python source, compiles it once per feature
 combination (memoised process-wide), and returns the kernel function.
+:func:`build_step_kernel` compiles the same composed body into a
+*generator* that yields after every cycle, which is what the batched
+lockstep driver (:mod:`repro.core.batch`) interleaves across N
+independent simulator instances -- one declaration, two loop shapes,
+bit-identical by construction.
 The uninstrumented path therefore keeps the bound-locals speed of a
 hand-written tight loop, while every telemetry x checker combination is
 generated from the same declaration instead of hand-copied variants --
@@ -67,12 +73,20 @@ class SchedulePoint:
     body: tuple[str, ...]
     binds: tuple[str, ...] = ()
     requires: str | None = None
+    excludes: tuple[str, ...] = ()
+    """Feature flags that suppress the point: it is composed in only
+    when *none* of these are active.  Used by pure fast-path
+    optimisations (idle_skip) that must stand aside whenever an
+    observing subsystem wants to see every cycle."""
 
     def __post_init__(self) -> None:
         if self.kind not in ("stage", "hook"):
             raise ValueError(f"schedule point kind must be stage|hook, got {self.kind!r}")
         if self.requires is not None and self.requires not in FEATURES:
             raise ValueError(f"unknown feature {self.requires!r}; known: {FEATURES}")
+        for feature in self.excludes:
+            if feature not in FEATURES:
+                raise ValueError(f"unknown feature {feature!r}; known: {FEATURES}")
 
 
 def _stage(name: str, body: tuple[str, ...], binds: tuple[str, ...] = (), requires=None):
@@ -80,9 +94,15 @@ def _stage(name: str, body: tuple[str, ...], binds: tuple[str, ...] = (), requir
     return SchedulePoint(name, "stage", body, binds, requires)
 
 
-def _hook(name: str, body: tuple[str, ...], binds: tuple[str, ...] = (), requires=None):
+def _hook(
+    name: str,
+    body: tuple[str, ...],
+    binds: tuple[str, ...] = (),
+    requires=None,
+    excludes: tuple[str, ...] = (),
+):
     """Shorthand for a hook-point schedule point."""
-    return SchedulePoint(name, "hook", body, binds, requires)
+    return SchedulePoint(name, "hook", body, binds, requires, excludes)
 
 
 CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
@@ -166,6 +186,64 @@ CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
         binds=("check_cycle = sim.checker.check_cycle",),
         body=("check_cycle(cycle)",),
     ),
+    # Idle-cycle fast-forward.  When the decode queue is empty and no
+    # stage can act before a known wake-up cycle -- the BPU is stalled
+    # (or the FTQ full), the FTQ head is absent / awaiting a fill / not
+    # yet consumable, and no entry awaits its probe -- every
+    # intervening cycle is a provable no-op except for the backend's
+    # one starvation bump, so the loop jumps straight to the earliest
+    # wake-up (next MSHR completion, BPU stall release, head ready
+    # cycle, or the livelock guard) and bumps starvation in bulk.
+    # Composed in only on the plain fast path: any observer that wants
+    # to see every cycle (telemetry ticks, the invariant checker, a
+    # prefetcher that may act on any cycle) suppresses it, which is
+    # also what lets the fuzzer's bit-identity properties pin the
+    # skipped path against the cycle-by-cycle one.
+    _hook(
+        "idle_skip",
+        excludes=("telemetry", "checker", "prefetcher"),
+        binds=(
+            "dq = sim.decode_queue",
+            "bpu = sim.bpu",
+            "mshr_next_ready = sim.memory.mshrs.next_ready_cycle",
+        ),
+        body=(
+            # The target check mirrors the loop condition: once the last
+            # instruction has committed (this very iteration), the loop
+            # is about to exit and a skip would pad cycles the
+            # cycle-by-cycle loop never runs.
+            "if not dq._chunks and backend.committed < target:",
+            "    entries = ftq._entries",
+            "    head = entries[0] if entries else None",
+            "    wake = 0",
+            "    if head is None:",
+            "        wake = guard + 1",
+            "    elif head.state == 2:  # AWAIT_FILL: woken by an MSHR completion",
+            "        wake = guard + 1",
+            "    elif head.state == 3 and head.ready_cycle > cycle + 1:  # READY, later",
+            "        wake = head.ready_cycle",
+            "    if wake:",
+            "        if not ftq.full:",
+            "            if bpu.stall_until <= cycle + 1:",
+            "                wake = 0  # the BPU can predict next cycle",
+            "            elif bpu.stall_until < wake:",
+            "                wake = bpu.stall_until",
+            "        if wake:",
+            "            for _e in entries:",
+            "                if _e.state == 1:  # AWAIT_PROBE: probe acts next cycle",
+            "                    wake = 0",
+            "                    break",
+            "    if wake:",
+            "        _fill = mshr_next_ready()",
+            "        if _fill is not None and _fill < wake:",
+            "            wake = _fill",
+            "        if wake > guard + 1:",
+            "            wake = guard + 1",
+            "        if wake > cycle + 1:",
+            "            backend.stats.bump('starvation_cycles', wake - cycle - 1)",
+            "            cycle = wake - 1",
+        ),
+    ),
     # A run exceeding the guard indicates a livelock; fail with context.
     _hook(
         "livelock_guard",
@@ -183,7 +261,37 @@ def active_points(features: frozenset[str]) -> list[SchedulePoint]:
     unknown = features.difference(FEATURES)
     if unknown:
         raise ValueError(f"unknown feature(s) {sorted(unknown)}; known: {FEATURES}")
-    return [p for p in CYCLE_SCHEDULE if p.requires is None or p.requires in features]
+    return [
+        p
+        for p in CYCLE_SCHEDULE
+        if (p.requires is None or p.requires in features)
+        and not any(f in features for f in p.excludes)
+    ]
+
+
+def _emit_kernel(features: frozenset[str], name: str, stepping: bool) -> str:
+    """Emit the composed cycle-loop source (the ONE loop body).
+
+    Both kernel shapes are generated here so the codebase keeps exactly
+    one cycle loop: the plain callable and the stepping generator
+    differ only by a trailing ``yield`` per iteration.
+    """
+    points = active_points(features)
+    lines = [f"def {name}(sim, target, warmup, guard):"]
+    for point in points:
+        for bind in point.binds:
+            lines.append(f"    {bind}")
+    lines.append("    cycle = sim.cycle")
+    lines.append("    while backend.committed < target:")
+    for point in points:
+        if point.name == "livelock_guard":
+            lines.append("        cycle += 1")
+        for stmt in point.body:
+            lines.append(f"        {stmt}")
+    if stepping:
+        lines.append("        yield")
+    lines.append("    sim.cycle = cycle")
+    return "\n".join(lines) + "\n"
 
 
 def kernel_source(features: frozenset[str]) -> str:
@@ -195,24 +303,37 @@ def kernel_source(features: frozenset[str]) -> str:
     ``cycle += 1`` is loop bookkeeping emitted between the last stage
     and the livelock guard, mirroring the original hand-written loop.
     """
-    points = active_points(features)
-    lines = ["def _kernel(sim, target, warmup, guard):"]
-    for point in points:
-        for bind in point.binds:
-            lines.append(f"    {bind}")
-    lines.append("    cycle = sim.cycle")
-    lines.append("    while backend.committed < target:")
-    for point in points:
-        if point.name == "livelock_guard":
-            lines.append("        cycle += 1")
-        for stmt in point.body:
-            lines.append(f"        {stmt}")
-    lines.append("    sim.cycle = cycle")
-    return "\n".join(lines) + "\n"
+    return _emit_kernel(features, "_kernel", stepping=False)
+
+
+def step_kernel_source(features: frozenset[str]) -> str:
+    """Source of the *stepping* cycle kernel for ``features``.
+
+    Identical composed body to :func:`kernel_source`, but emitted as a
+    generator -- ``_step_kernel(sim, target, warmup, guard)`` yields
+    once at the end of every simulated cycle (after the livelock
+    guard), and finishes (StopIteration) once ``target`` instructions
+    have committed, writing ``sim.cycle`` back first.  The batched
+    lockstep driver round-robins ``next()`` over one generator per
+    simulator instance; because the per-cycle body is the same
+    schedule-generated source, a stepped run is bit-identical to a
+    :func:`build_kernel` run by construction.
+    """
+    return _emit_kernel(features, "_step_kernel", stepping=True)
 
 
 _KERNELS: dict[frozenset[str], object] = {}
 """Process-wide memo of compiled kernels, keyed by active feature set."""
+
+_STEP_KERNELS: dict[frozenset[str], object] = {}
+"""Process-wide memo of compiled stepping kernels (generators)."""
+
+
+def _compile_kernel(source: str, name: str, tag: str):
+    namespace: dict[str, object] = {}
+    code = compile(source, tag, "exec")
+    exec(code, namespace)  # noqa: S102 - trusted, schedule-generated source
+    return namespace[name]
 
 
 def build_kernel(features: frozenset[str]):
@@ -220,12 +341,24 @@ def build_kernel(features: frozenset[str]):
     features = frozenset(features)
     kernel = _KERNELS.get(features)
     if kernel is None:
-        source = kernel_source(features)
-        namespace: dict[str, object] = {}
-        code = compile(source, f"<cycle-kernel {sorted(features)}>", "exec")
-        exec(code, namespace)  # noqa: S102 - trusted, schedule-generated source
-        kernel = namespace["_kernel"]
+        kernel = _compile_kernel(
+            kernel_source(features), "_kernel", f"<cycle-kernel {sorted(features)}>"
+        )
         _KERNELS[features] = kernel
+    return kernel
+
+
+def build_step_kernel(features: frozenset[str]):
+    """Compile (memoised) and return the stepping kernel for ``features``."""
+    features = frozenset(features)
+    kernel = _STEP_KERNELS.get(features)
+    if kernel is None:
+        kernel = _compile_kernel(
+            step_kernel_source(features),
+            "_step_kernel",
+            f"<step-kernel {sorted(features)}>",
+        )
+        _STEP_KERNELS[features] = kernel
     return kernel
 
 
@@ -247,6 +380,7 @@ def validate_stage_interfaces(sim) -> list[str]:
                 problems.append(f"{point.name}: binding {expr!r} failed: {exc}")
                 continue
             env[name] = value
-            if not expr.endswith((".telemetry", ".ftq", ".backend")) and not callable(value):
+            object_binds = (".telemetry", ".ftq", ".backend", ".decode_queue", ".bpu")
+            if not expr.endswith(object_binds) and not callable(value):
                 problems.append(f"{point.name}: binding {expr!r} is not callable")
     return problems

@@ -163,17 +163,15 @@ class Simulator:
             f"history={getattr(policy, 'value', policy)!r}"
         )
 
-    def run(self, workload_name: str = "") -> RunResult:
-        """Simulate warmup + measurement windows; return the result.
+    def _prepare_run(self, workload_name: str = "") -> tuple[int, int, int]:
+        """Everything :meth:`run` does before the cycle loop starts.
 
-        ``params.warmup_mode == "functional"`` fast-forwards the warmup
-        window architecturally (:func:`repro.core.warmup.functional_warmup`)
-        and starts the cycle-accurate loop at the measurement boundary;
-        ``"cycle"`` (and ``"auto"``, for this direct API) warms through
-        the full pipeline as before.
-
-        The cycle loop itself is the schedule-specialized kernel for
-        this simulator's :meth:`active_features`.
+        Applies the functional warmup fast-forward when configured and
+        returns the ``(target, warmup, guard)`` triple the cycle kernel
+        is called with.  Split out so the batched lockstep driver
+        (:mod:`repro.core.batch`) can prepare each instance, interleave
+        their stepping kernels, and finish them identically to a scalar
+        :meth:`run`.
         """
         params = self.params
         if workload_name:
@@ -189,8 +187,11 @@ class Simulator:
         ):
             functional_warmup(self)
             self._begin_measurement()
-        kernel = build_kernel(self.active_features())
-        kernel(self, target, warmup, guard)
+        return target, warmup, guard
+
+    def _finish_run(self, workload_name: str = "") -> RunResult:
+        """Everything :meth:`run` does after the cycle loop completes."""
+        params = self.params
         if not self._measuring:
             self._begin_measurement()
         instructions = self.backend.committed - self._measure_start_committed
@@ -208,6 +209,23 @@ class Simulator:
         if self.checker is not None:
             self.checker.check_end(result)
         return result
+
+    def run(self, workload_name: str = "") -> RunResult:
+        """Simulate warmup + measurement windows; return the result.
+
+        ``params.warmup_mode == "functional"`` fast-forwards the warmup
+        window architecturally (:func:`repro.core.warmup.functional_warmup`)
+        and starts the cycle-accurate loop at the measurement boundary;
+        ``"cycle"`` (and ``"auto"``, for this direct API) warms through
+        the full pipeline as before.
+
+        The cycle loop itself is the schedule-specialized kernel for
+        this simulator's :meth:`active_features`.
+        """
+        target, warmup, guard = self._prepare_run(workload_name)
+        kernel = build_kernel(self.active_features())
+        kernel(self, target, warmup, guard)
+        return self._finish_run(workload_name)
 
 
 def simulate(workload: WorkloadSpec | str, params: SimParams, telemetry=None) -> RunResult:

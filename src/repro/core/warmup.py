@@ -36,6 +36,8 @@ The measured-IPC agreement between the two modes is pinned to within
 
 from __future__ import annotations
 
+from repro.trace.fbmeta import stream_meta
+
 
 def functional_warmup(sim) -> None:
     """Fast-forward ``sim`` through its warmup window architecturally.
@@ -64,18 +66,25 @@ def functional_warmup(sim) -> None:
     #    LRU state converges to the most recently executed segments,
     #    like the tail of a cycle-accurate warmup without its
     #    wrong-path fills.)
+    #    The footprint is precompiled per stream/geometry
+    #    (StreamMeta.warm_footprint) as two flat address lists -- all
+    #    lines in segment order, then all pages in segment order.  The
+    #    L1I and the I-TLB never interact, and per-structure replay
+    #    order is preserved, so the split replay leaves both (LRU state
+    #    included) exactly as the per-segment interleaved walk did.
     memory = sim.memory
-    fill_lines = sim._fill_lines
-    l1i = memory.l1i
     itlb = memory.itlb
-    page_bytes = itlb.page_bytes
     stream = sim.stream
     last_seg = stream.segment_at_instruction(warmup - 1)
-    for seg in stream.segments[: last_seg + 1]:
-        start, limit = seg.start, seg.limit
-        fill_lines(l1i, start, limit)
-        for page in range(itlb.page_of(start), limit, page_bytes):
-            itlb.translate(page)
+    lines, pages = stream_meta(stream).warm_footprint(
+        last_seg, sim.params.memory.line_bytes, itlb.page_bytes
+    )
+    fill = memory.l1i.fill
+    for line in lines:
+        fill(line)
+    translate = itlb.translate
+    for page in pages:
+        translate(page)
 
     # 3. Synchronise speculative state with the trained architectural
     #    state, exactly like a pipeline-flush recovery at the boundary.

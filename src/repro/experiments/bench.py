@@ -13,12 +13,26 @@ Methodology:
   bypassed (a benchmark that reads the result cache would measure
   pickle, not simulation); the best repeat is reported to suppress
   scheduler noise.
-* The headline number is total simulated instructions over total
-  best-repeat wall time, plus a geomean of per-workload rates.
+* The headline number is the geometric mean of per-workload rates
+  (schema 2; it weights every workload equally, where the total-over-
+  total ratio lets one slow workload dominate), with the totals kept
+  alongside.
+* ``--batched`` benchmarks the lockstep batch path
+  (:mod:`repro.core.batch`): ``batch_width`` identical instances per
+  workload advance in lockstep, and the rate counts every instance's
+  instructions -- the sweep-throughput number a batch-grouped
+  ``repro sweep`` actually sees, directly comparable to the scalar
+  rate.
+
+Every run can append one line to ``BENCH_history.jsonl`` (platform-
+stamped) so the perf trajectory lives in-repo; ``compare_bench`` gates
+per-workload, not aggregate-only, so a regression on one workload
+cannot hide behind gains elsewhere.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import platform
 import time
@@ -26,12 +40,15 @@ from pathlib import Path
 
 from repro.common.params import SimParams
 from repro.common.stats import geomean
+from repro.core.batch import run_batch
 from repro.core.simulator import Simulator
 from repro.experiments.configs import QUICK_WORKLOADS, default_params
 from repro.trace.workloads import make_trace
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 DEFAULT_OUTPUT = "BENCH_core.json"
+HISTORY_FILE = "BENCH_history.jsonl"
+DEFAULT_BENCH_BATCH_WIDTH = 4
 
 
 def bench_workload(
@@ -62,11 +79,52 @@ def bench_workload(
     }
 
 
+def bench_workload_batched(
+    workload: str,
+    params: SimParams,
+    repeats: int = 1,
+    width: int = DEFAULT_BENCH_BATCH_WIDTH,
+) -> dict:
+    """Time one workload on the lockstep batch path (best of repeats).
+
+    ``width`` identical instances advance in lockstep; the rate counts
+    all ``width * n`` simulated instructions over the batch's wall
+    time, which is what a batch-grouped sweep gets per worker.  The
+    members are bit-identical runs, so ``cycles``/``ipc`` report the
+    first instance (all agree; pinned by ``tests/test_batch.py``).
+    """
+    n = params.warmup_instructions + params.sim_instructions
+    width = max(1, width)
+    program, stream = make_trace(workload, n)  # untimed: setup, not simulation
+    best_wall = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        sims = [Simulator(params, program, stream) for _ in range(width)]
+        t0 = time.perf_counter()
+        runs = run_batch(sims, [workload] * width)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall = wall
+            result = runs[0]
+    total = n * width
+    return {
+        "instructions": total,
+        "batch_width": width,
+        "measured_instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "wall_seconds": best_wall,
+        "instructions_per_second": total / best_wall if best_wall > 0 else 0.0,
+    }
+
+
 def run_bench(
     workloads: list[str] | None = None,
     params: SimParams | None = None,
     repeats: int = 1,
     fast_warmup: bool = False,
+    batched: bool = False,
+    batch_width: int = DEFAULT_BENCH_BATCH_WIDTH,
 ) -> dict:
     """Benchmark the cycle loop; returns the BENCH_core payload.
 
@@ -74,7 +132,8 @@ def run_bench(
     (``repro bench --fast-warmup``); the reported rate still counts the
     warmup instructions -- they are simulated, just architecturally --
     so the speedup from skipping cycle-accurate warmup shows up in
-    ``instructions_per_second`` directly.
+    ``instructions_per_second`` directly.  ``batched`` benchmarks the
+    lockstep batch path instead of one scalar instance per workload.
     """
     workloads = workloads or list(QUICK_WORKLOADS)
     params = params or default_params()
@@ -82,10 +141,26 @@ def run_bench(
         params = params.replace(warmup_mode="functional")
     per_workload: dict[str, dict] = {}
     for wl in workloads:
-        per_workload[wl] = bench_workload(wl, params, repeats=repeats)
+        if batched:
+            per_workload[wl] = bench_workload_batched(
+                wl, params, repeats=repeats, width=batch_width
+            )
+        else:
+            per_workload[wl] = bench_workload(wl, params, repeats=repeats)
     total_instrs = sum(w["instructions"] for w in per_workload.values())
     total_wall = sum(w["wall_seconds"] for w in per_workload.values())
     rates = [w["instructions_per_second"] for w in per_workload.values()]
+    config = {
+        "warmup_instructions": params.warmup_instructions,
+        "sim_instructions": params.sim_instructions,
+        "warmup_mode": params.warmup_mode,
+        "label": params.label(),
+        "repeats": repeats,
+        "workloads": workloads,
+        "mode": "batched" if batched else "scalar",
+    }
+    if batched:
+        config["batch_width"] = max(1, batch_width)
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "platform": {
@@ -93,14 +168,7 @@ def run_bench(
             "implementation": platform.python_implementation(),
             "machine": platform.machine(),
         },
-        "config": {
-            "warmup_instructions": params.warmup_instructions,
-            "sim_instructions": params.sim_instructions,
-            "warmup_mode": params.warmup_mode,
-            "label": params.label(),
-            "repeats": repeats,
-            "workloads": workloads,
-        },
+        "config": config,
         "workloads": per_workload,
         "aggregate": {
             "total_instructions": total_instrs,
@@ -118,8 +186,64 @@ def write_bench(payload: dict, output: str | Path = DEFAULT_OUTPUT) -> Path:
     return path
 
 
+def append_history(payload: dict, path: str | Path = HISTORY_FILE) -> Path:
+    """Append one platform-stamped line for ``payload`` to the history
+    trail (``BENCH_history.jsonl``).
+
+    Each line is a compact, self-contained record -- UTC timestamp,
+    schema, platform, bench mode/config label, aggregate rates and
+    per-workload rates -- so the perf trajectory is tracked in-repo
+    instead of only in PR descriptions.  Lines only append; the file is
+    human-diffable and trivially parsed with one ``json.loads`` per
+    line.
+    """
+    path = Path(path)
+    record = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "schema": payload.get("schema"),
+        "platform": payload.get("platform", {}),
+        "mode": payload.get("config", {}).get("mode", "scalar"),
+        "config": {
+            k: payload.get("config", {}).get(k)
+            for k in (
+                "label",
+                "warmup_instructions",
+                "sim_instructions",
+                "warmup_mode",
+                "repeats",
+                "batch_width",
+            )
+            if k in payload.get("config", {})
+        },
+        "aggregate": payload.get("aggregate", {}),
+        "workloads": {
+            name: row.get("instructions_per_second")
+            for name, row in payload.get("workloads", {}).items()
+        },
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
 REGRESSION_THRESHOLD = 0.20
-"""Aggregate slowdown beyond this fraction fails ``bench --baseline``."""
+"""Per-workload slowdown beyond this fraction fails ``bench --baseline``."""
+
+
+def _headline_rate(payload: dict) -> float:
+    """The payload's headline aggregate rate (geomean, schema 2).
+
+    Falls back to the total-over-total rate for schema-1 baselines that
+    predate the geomean field.
+    """
+    agg = payload.get("aggregate", {})
+    return (
+        agg.get("geomean_instructions_per_second")
+        or agg.get("instructions_per_second")
+        or 0.0
+    )
 
 
 def compare_bench(
@@ -130,11 +254,15 @@ def compare_bench(
     """Compare two BENCH_core payloads (``repro bench --baseline``).
 
     Returns per-workload and aggregate relative deltas
-    (``+0.10`` = 10% faster than baseline) plus a ``regressed`` flag
-    set when the aggregate rate dropped by more than ``threshold``.
-    Workloads present in only one payload are listed but not compared.
-    Comparisons are only meaningful between runs on the same machine
-    with the same windows; the caller is trusted on that.
+    (``+0.10`` = 10% faster than baseline).  The regression gate is
+    **per-workload**: ``regressed_workloads`` names every workload whose
+    rate dropped by more than ``threshold``, and ``regressed`` is set
+    when any did -- an aggregate-only gate would let a 25% regression on
+    one workload hide behind gains elsewhere.  The aggregate delta
+    compares headline (geomean) rates.  Workloads present in only one
+    payload are listed but not compared.  Comparisons are only
+    meaningful between runs on the same machine with the same windows
+    and mode; the caller is trusted on that.
     """
 
     def _rate(payload: dict, workload: str) -> float | None:
@@ -149,13 +277,16 @@ def compare_bench(
         cur, base = _rate(current, name), _rate(baseline, name)
         deltas[name] = (cur - base) / base if cur and base else None
 
-    cur_agg = current.get("aggregate", {}).get("instructions_per_second", 0.0)
-    base_agg = baseline.get("aggregate", {}).get("instructions_per_second", 0.0)
+    regressed_workloads = sorted(
+        name for name, d in deltas.items() if d is not None and d < -threshold
+    )
+    cur_agg = _headline_rate(current)
+    base_agg = _headline_rate(baseline)
     agg_delta = (cur_agg - base_agg) / base_agg if cur_agg and base_agg else None
     return {
         "workloads": deltas,
         "aggregate": agg_delta,
         "threshold": threshold,
-        "regressed": agg_delta is not None and agg_delta < -threshold,
+        "regressed_workloads": regressed_workloads,
+        "regressed": bool(regressed_workloads),
     }
-

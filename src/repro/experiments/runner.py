@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from repro.common.log import get_logger
 from repro.common.params import WARMUP_MODES, SimParams
 from repro.common.stats import amean, geomean
+from repro.core.batch import batchable, simulate_batch
 from repro.core.build import resolve_components
 from repro.core.metrics import RunResult
 from repro.core.simulator import simulate
@@ -35,6 +36,11 @@ from repro.trace.workloads import make_trace
 _CACHE: dict[str, RunResult] = {}
 """In-process memo, keyed by the stable content hash (run_key)."""
 
+DEFAULT_BATCH_WIDTH = 8
+"""Upper bound on lockstep batch size formed by the sweep runner; keeps
+one pool worker from hoarding a whole workload's points while the rest
+idle, and bounds per-worker memory."""
+
 log = get_logger("experiments.runner")
 
 
@@ -42,9 +48,31 @@ def _disk() -> ResultCache | None:
     return ResultCache() if cache_enabled() else None
 
 
+def batching_enabled() -> bool:
+    """Whether the sweep runner groups cache-miss jobs into batches.
+
+    On by default; ``REPRO_BATCH=0`` forces the scalar path (useful to
+    bisect a suspected batching problem, and what the equivalence tests
+    toggle).
+    """
+    raw = os.environ.get("REPRO_BATCH", "1").strip().lower()
+    return raw not in ("0", "false", "no")
+
+
+def batch_width() -> int:
+    """Maximum lockstep batch size (``REPRO_BATCH_WIDTH`` overrides)."""
+    raw = os.environ.get("REPRO_BATCH_WIDTH", "").strip()
+    return max(2, int(raw)) if raw else DEFAULT_BATCH_WIDTH
+
+
 def _simulate_point(workload: str, params: SimParams) -> RunResult:
     """Worker entry point: one simulation (top-level for pickling)."""
     return simulate(workload, params)
+
+
+def _simulate_batch_point(workload: str, params_list: list[SimParams]) -> list[RunResult]:
+    """Worker entry point: one lockstep batch (top-level for pickling)."""
+    return simulate_batch(workload, params_list)
 
 
 def resolve_warmup_mode(params: SimParams) -> SimParams:
@@ -176,20 +204,51 @@ def run_points(
         return resolved
 
     CACHE_STATS.bump("sim_runs", len(pending))
-    if jobs > 1 and len(pending) > 1:
-        log.debug("fanning %d simulation(s) across %d worker(s)", len(pending), jobs)
+    batches, singles = _plan_batches(pending)
+    if batches:
+        log.debug(
+            "grouped %d point(s) into %d lockstep batch(es), %d scalar",
+            sum(len(b) for b in batches),
+            len(batches),
+            len(singles),
+        )
+    n_units = len(batches) + len(singles)
+    if jobs > 1 and n_units > 1:
+        log.debug("fanning %d work unit(s) across %d worker(s)", n_units, jobs)
         # Pre-generate the needed traces so forked workers inherit warm
         # lru_caches instead of regenerating per process.
         for workload, params in pending.values():
             make_trace(workload, params.warmup_instructions + params.sim_instructions)
-        keys = list(pending)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = [pool.submit(_simulate_point, *pending[k]) for k in keys]
-            for key, future in zip(keys, futures):
-                resolved[key] = future.result()
+        with ProcessPoolExecutor(max_workers=min(jobs, n_units)) as pool:
+            futures = [
+                (
+                    group,
+                    pool.submit(
+                        _simulate_batch_point,
+                        pending[group[0]][0],
+                        [pending[k][1] for k in group],
+                    ),
+                )
+                for group in batches
+            ]
+            futures += [
+                ([key], pool.submit(_simulate_point, *pending[key]))
+                for key in singles
+            ]
+            for group, future in futures:
+                out = future.result()
+                results = out if isinstance(out, list) else [out]
+                for key, result in zip(group, results):
+                    resolved[key] = result
     else:
-        for key, (workload, params) in pending.items():
-            resolved[key] = _simulate_point(workload, params)
+        for group in batches:
+            results = _simulate_batch_point(
+                pending[group[0]][0], [pending[k][1] for k in group]
+            )
+            for key, result in zip(group, results):
+                resolved[key] = result
+        for key in singles:
+            resolved[key] = _simulate_point(*pending[key])
 
     for key in pending:
         result = resolved[key]
@@ -197,6 +256,40 @@ def run_points(
         if disk is not None:
             disk.put(key, result)
     return resolved
+
+
+def _plan_batches(
+    pending: Mapping[str, tuple[str, SimParams]],
+) -> tuple[list[list[str]], list[str]]:
+    """Group pending run keys into lockstep batches plus scalar leftovers.
+
+    Points batch together when they share a workload *and* a trace
+    length (members of one batch must predict against the same oracle
+    stream; see :func:`repro.core.batch.simulate_batch`) and their
+    config is :func:`~repro.core.batch.batchable`.  Groups are chunked
+    to :func:`batch_width`; singletons and non-batchable configs run on
+    the scalar path unchanged.
+    """
+    if not batching_enabled():
+        return [], list(pending)
+    singles: list[str] = []
+    groups: dict[tuple[str, int], list[str]] = {}
+    for key, (workload, params) in pending.items():
+        if not batchable(params)[0]:
+            singles.append(key)
+            continue
+        n = params.warmup_instructions + params.sim_instructions
+        groups.setdefault((workload, n), []).append(key)
+    width = batch_width()
+    batches: list[list[str]] = []
+    for keys in groups.values():
+        for i in range(0, len(keys), width):
+            chunk = keys[i : i + width]
+            if len(chunk) == 1:
+                singles.append(chunk[0])
+            else:
+                batches.append(chunk)
+    return batches, singles
 
 
 def run_matrix(

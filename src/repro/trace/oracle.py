@@ -78,6 +78,14 @@ class OracleStream:
                 acc += seg.n_instrs
             self.cumulative = cum
 
+    def __getstate__(self) -> dict:
+        # The compiled StreamMeta (repro.trace.fbmeta.stream_meta) is a
+        # per-process memo stashed on the instance; drop it from pickles
+        # so sweep workers receive the lean stream and recompile locally.
+        state = dict(self.__dict__)
+        state.pop("_stream_meta", None)
+        return state
+
     def segment_at_instruction(self, n: int) -> int:
         """Index of the segment containing committed instruction ``n``."""
         lo, hi = 0, len(self.segments) - 1

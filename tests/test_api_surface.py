@@ -18,6 +18,7 @@ MODULES = [
     "repro.isa.instructions",
     "repro.trace.behaviors",
     "repro.trace.cfg",
+    "repro.trace.fbmeta",
     "repro.trace.oracle",
     "repro.trace.reader",
     "repro.trace.workloads",
@@ -47,6 +48,7 @@ MODULES = [
     "repro.prefetch.sn4l_dis_btb",
     "repro.common.registry",
     "repro.core.backend",
+    "repro.core.batch",
     "repro.core.build",
     "repro.core.metrics",
     "repro.core.schedule",

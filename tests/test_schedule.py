@@ -42,6 +42,7 @@ class TestSchedule:
             "probe",
             "prefetch",
             "invariant_sweep",
+            "idle_skip",
             "livelock_guard",
         ]
 
