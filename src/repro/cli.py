@@ -1,23 +1,28 @@
 """Command-line interface.
 
-Seven subcommands::
+Nine subcommands::
 
     python -m repro run   --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
     python -m repro report fig7 fig14     # regenerate paper experiments
-    python -m repro bench                 # cycle-loop throughput -> BENCH_core.json
+    python -m repro bench [--trend]       # cycle-loop throughput -> BENCH_core.json
     python -m repro trace --workload ...  # telemetry run -> JSONL + report
+    python -m repro profile --workload .. # per-stage self-time profile
     python -m repro check [--fuzz N]      # correctness harness (docs/TESTING.md)
     python -m repro cache info|clear      # persistent result cache
+    python -m repro sweep-report [LEDGER] # sweep progress/summary from a run ledger
 
 ``run`` simulates one (workload, configuration) pair and prints the
 metric summary; every microarchitectural knob the evaluation sweeps is
 exposed as a flag (``--stats-json`` dumps the full raw counter set).
 ``trace`` re-runs one point with the observability layer on and writes
-the event/time-series JSONL plus a markdown/JSON report (see
-docs/OBSERVABILITY.md).  ``report`` honours ``REPRO_JOBS`` (parallel
-sweep workers) and the persistent result cache (``REPRO_CACHE_DIR``);
-see docs/PERFORMANCE.md.  The global ``--log-level`` flag (or the
+the event/time-series JSONL plus a markdown/JSON report; ``profile``
+re-runs one point with the schedule-stage profiler and prints where
+the cycle loop's wall time goes (see docs/OBSERVABILITY.md).
+``report`` honours ``REPRO_JOBS`` (parallel sweep workers), the
+persistent result cache (``REPRO_CACHE_DIR``) and the run ledger
+(``REPRO_LEDGER``, read back with ``sweep-report``); see
+docs/PERFORMANCE.md.  The global ``--log-level`` flag (or the
 ``REPRO_LOG`` environment variable) controls diagnostic logging.
 """
 
@@ -179,6 +184,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a previous BENCH_core.json; exit non-zero "
         "if any workload's rate regressed by more than 20%%",
     )
+    bench.add_argument(
+        "--trend",
+        action="store_true",
+        help="print the per-machine regression trend from BENCH_history.jsonl "
+        "instead of running the benchmark",
+    )
+    bench.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="trend window: last N history entries per machine/mode (default 10)",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="history trail for --trend (default BENCH_history.jsonl)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="simulate with the schedule-stage profiler; print self-time"
+    )
+    _add_sim_flags(profile)
+    profile.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the profile report as JSON to PATH",
+    )
+
+    sweep = sub.add_parser(
+        "sweep-report", help="render progress/summary from a sweep run ledger"
+    )
+    sweep.add_argument(
+        "ledger",
+        nargs="?",
+        default=None,
+        help="ledger JSONL path (default: newest file in the ledger directory)",
+    )
+    sweep.add_argument(
+        "--format",
+        choices=["progress", "md", "json", "both"],
+        default="progress",
+        help="progress view (default), markdown/JSON summary, or both files",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write md/json summaries into DIR instead of printing",
+    )
+    sweep.add_argument(
+        "--top", type=int, default=10, metavar="N", help="slowest work units to list"
+    )
+    sweep.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll the ledger and redraw the progress view until the sweep ends",
+    )
 
     check = sub.add_parser(
         "check", help="correctness harness: differential + invariants + fuzzing"
@@ -235,6 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache = sub.add_parser("cache", help="manage the persistent result cache")
     cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument(
+        "--manifests",
+        action="store_true",
+        help="info only: list the provenance manifest of each cached result",
+    )
+    cache.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="manifest rows to show, newest first (default 20; 0 = all)",
+    )
 
     return parser
 
@@ -312,16 +389,34 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _write_stats_json(result, output: str) -> Path:
-    """Dump a run's full raw counter set (sorted) as JSON."""
+    """Dump a run's full raw counter set (sorted) as JSON.
+
+    Besides the counters, the payload records which code produced them
+    (``schema`` = :data:`repro.experiments.cache.SIM_SCHEMA_VERSION`)
+    and the *resolved* run modes -- the ``run`` path resolves
+    ``warmup_mode="auto"`` to cycle-accurate warmup and always runs the
+    scalar kernel -- so a stats dump is comparable across PRs without
+    guessing which defaults were in force.
+    """
+    from repro.experiments.cache import SIM_SCHEMA_VERSION
+
     path = Path(output)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
+    params = result.params
+    warmup_mode = params.warmup_mode
     payload = {
+        "schema": SIM_SCHEMA_VERSION,
         "workload": result.workload,
         "label": result.label,
         "instructions": result.instructions,
         "cycles": result.cycles,
         "ipc": result.ipc,
+        "modes": {
+            "warmup_mode": "cycle" if warmup_mode == "auto" else warmup_mode,
+            "check_invariants": params.check_invariants,
+            "batch": "scalar",
+        },
         "counters": {name: result.stats.get(name) for name in result.stats.names()},
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -417,6 +512,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Measure cycle-loop throughput and write BENCH_core.json."""
     from repro.experiments.configs import default_params
 
+    if args.trend:
+        return _bench_trend(args)
     if args.workloads == "quick":
         workloads = None  # bench default: the quick set
     elif args.workloads == "all":
@@ -458,6 +555,57 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"appended to {append_history(payload)}")
     if args.baseline:
         return _bench_compare(payload, args.baseline)
+    return 0
+
+
+def _bench_trend(args: argparse.Namespace) -> int:
+    """Print the per-machine trend table from BENCH_history.jsonl.
+
+    Sparse or absent history is not an error -- the trail grows one
+    line per benched PR -- so this always exits 0 unless the file path
+    was given explicitly and is unreadable garbage (still 0: trend is
+    a reporting view, never a gate).
+    """
+    from repro.experiments.bench import HISTORY_FILE, load_history, trend_report
+
+    history_path = args.history or HISTORY_FILE
+    records = load_history(history_path)
+    if not records:
+        print(f"no benchmark history in {history_path}")
+        return 0
+    trend = trend_report(records, last=max(1, args.last))
+    for machine, group in sorted(trend.items()):
+        rows = []
+        for row in group["rows"]:
+            rate = row["geomean_instructions_per_second"]
+            delta = row["delta_vs_prev"]
+            rows.append(
+                (
+                    row["timestamp"] or "?",
+                    f"{rate:,.0f}" if rate else "n/a",
+                    f"{100.0 * delta:+.1f}%" if delta is not None else "",
+                )
+            )
+        print(
+            render_table(
+                f"Bench trend: {machine} "
+                f"(last {group['window']} of {group['entries']} entries)",
+                ["timestamp", "geomean instrs/sec", "vs prev"],
+                rows,
+            )
+        )
+        window_delta = group["geomean_delta_window"]
+        if window_delta is not None and group["window"] > 1:
+            print(f"  geomean over window: {100.0 * window_delta:+.1f}%")
+            drifted = [
+                (name, d)
+                for name, d in group["workload_delta_window"].items()
+                if d is not None
+            ]
+            if drifted:
+                shown = " ".join(f"{n}={100.0 * d:+.1f}%" for n, d in drifted)
+                print(f"  per-workload over window: {shown}")
+        print()
     return 0
 
 
@@ -597,6 +745,136 @@ def _check_replay(path: str) -> int:
     return 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Simulate one point with the stage profiler; print self-time."""
+    from repro.core.prof import StageProfiler
+
+    profiler = StageProfiler()
+    log.debug(
+        "profiling %s (%d+%d instructions)", args.workload, args.warmup, args.instructions
+    )
+    result = simulate(args.workload, _params_from_args(args), profiler=profiler)
+    print(result.summary())
+    report = profiler.report()
+    print(
+        render_table(
+            f"Stage self-time: {result.workload} "
+            f"({report['cycles']:,} cycles, {report['total_self_ns'] / 1e6:.1f} ms "
+            f"in stages, {report['cycles_per_sec']:,.0f} cycles/sec)",
+            ["stage", "kind", "self (ms)", "share", "ns/cycle", "cycles/sec alone"],
+            [
+                (
+                    row["stage"],
+                    row["kind"],
+                    f"{row['self_ns'] / 1e6:.2f}",
+                    f"{100.0 * row['share']:.1f}%",
+                    f"{row['ns_per_cycle']:.0f}",
+                    f"{row['cycles_per_sec']:,.0f}",
+                )
+                for row in report["stages"]
+            ],
+        )
+    )
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "workload": result.workload,
+            "label": result.label,
+            "instructions": result.instructions,
+            "ipc": result.ipc,
+            **report,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    """Render progress/summary views from a sweep run ledger."""
+    import time as _time
+
+    from repro.common.ledger import (
+        latest_ledger,
+        read_ledger,
+        render_progress,
+        render_summary_md,
+        summarize_ledger,
+    )
+
+    path = Path(args.ledger) if args.ledger else latest_ledger()
+    if path is None or not Path(path).is_file():
+        log.error(
+            "no ledger file %s; run a sweep with REPRO_LEDGER=1 first",
+            f"at {path}" if path else "found",
+        )
+        return 2
+    summary = summarize_ledger(read_ledger(path), top=max(0, args.top))
+    if args.follow and not summary["complete"]:
+        while not summary["complete"]:
+            print(render_progress(summary))
+            print()
+            _time.sleep(0.5)
+            summary = summarize_ledger(read_ledger(path), top=max(0, args.top))
+    if args.format == "progress":
+        print(render_progress(summary))
+        if summary["invalid_sequences"]:
+            log.error(
+                "%d job(s) have invalid lifecycles", len(summary["invalid_sequences"])
+            )
+            return 1
+        return 0
+    outputs: list[tuple[str, str]] = []
+    if args.format in ("md", "both"):
+        outputs.append(("md", render_summary_md(summary)))
+    if args.format in ("json", "both"):
+        outputs.append(("json", json.dumps(summary, indent=2, sort_keys=True) + "\n"))
+    if args.out:
+        outdir = Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        base = summary.get("sweep") or Path(path).stem
+        for suffix, text in outputs:
+            target = outdir / f"{base}.sweep.{suffix}"
+            target.write_text(text)
+            print(f"wrote {target}")
+    else:
+        for _, text in outputs:
+            print(text, end="")
+    return 0
+
+
+def _print_manifests(cache: ResultCache, limit: int) -> None:
+    """The ``repro cache info --manifests`` provenance listing."""
+    manifests = cache.manifests()
+    if not manifests:
+        print("no provenance manifests")
+        return
+    shown = manifests if limit <= 0 else manifests[:limit]
+    print(
+        render_table(
+            f"Provenance manifests ({len(shown)} of {len(manifests)}, newest first)",
+            ["key", "workload", "config", "warmup", "ipc", "wall (s)", "created (UTC)"],
+            [
+                (
+                    (m.get("key") or "?")[:12],
+                    m.get("workload", "?"),
+                    m.get("label", "?"),
+                    m.get("warmup_mode", "?"),
+                    f"{m['ipc']:.3f}" if isinstance(m.get("ipc"), float) else "n/a",
+                    (
+                        f"{m['wall_seconds']:.2f}"
+                        if isinstance(m.get("wall_seconds"), (int, float))
+                        else "n/a"
+                    ),
+                    (m.get("created_utc") or "?").replace("+00:00", ""),
+                )
+                for m in shown
+            ],
+        )
+    )
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the persistent result cache."""
     cache = ResultCache()
@@ -607,12 +885,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     info = cache.info()
     print(f"cache dir: {info['directory']}")
     print(f"schema:    v{info['schema']}")
-    print(f"entries:   {info['entries']} ({info['total_bytes']:,} bytes)")
+    print(f"entries:   {info['entries']} ({info['total_bytes']:,} bytes, "
+          f"{info['manifests']} manifest(s))")
     session = cache_stats().as_dict()
     if session:
-        print("this session:")
+        print(f"this session (hit rate {100.0 * info['session_hit_rate']:.0f}%):")
         for name in sorted(session):
             print(f"  {name} = {session[name]}")
+    if getattr(args, "manifests", False):
+        _print_manifests(cache, args.limit)
     return 0
 
 
@@ -626,8 +907,10 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "report": cmd_report,
         "bench": cmd_bench,
+        "profile": cmd_profile,
         "check": cmd_check,
         "cache": cmd_cache,
+        "sweep-report": cmd_sweep_report,
     }
     return handlers[args.command](args)
 

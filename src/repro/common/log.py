@@ -62,6 +62,22 @@ def resolve_level(level: str | None = None) -> int:
         raise ValueError(f"unknown log level {raw!r}; expected one of {list(_LEVELS)}") from None
 
 
+def current_level_name() -> str:
+    """The effective level name of the ``repro`` root logger.
+
+    Used to thread the parent's logging configuration into pool workers
+    (``ProcessPoolExecutor`` initializer): returns the configured level
+    when :func:`configure` has run, else falls back to ``REPRO_LOG`` /
+    the default -- always a name :func:`configure` accepts.
+    """
+    level = logging.getLogger(ROOT_NAME).level
+    for name, value in _LEVELS.items():
+        if value == level:
+            return name
+    raw = (os.environ.get(ENV_VAR) or "warning").strip().lower()
+    return raw if raw in _LEVELS else "warning"
+
+
 def configure(level: str | None = None) -> logging.Logger:
     """Attach a stream handler to the ``repro`` logger and set its level.
 

@@ -39,7 +39,7 @@ from repro.core.simulator import Simulator
 from repro.trace.workloads import WorkloadSpec, make_trace
 
 
-def batchable(params: SimParams, telemetry=None) -> tuple[bool, str]:
+def batchable(params: SimParams, telemetry=None, profiler=None) -> tuple[bool, str]:
     """Whether a config can join a lockstep batch.
 
     Returns ``(ok, reason)``; ``reason`` names the scalar-fallback
@@ -47,6 +47,8 @@ def batchable(params: SimParams, telemetry=None) -> tuple[bool, str]:
     """
     if telemetry is not None:
         return False, "telemetry hub attached (one hub serves one run)"
+    if profiler is not None:
+        return False, "stage profiler attached (per-instance self-time attribution)"
     if params.check_invariants:
         return False, "per-cycle invariant checking (diagnostic scalar path)"
     return True, ""

@@ -8,20 +8,26 @@ subsystems attach to:
 ========  ==================  ===========  =================================
 order     point               kind         active when
 ========  ==================  ===========  =================================
-1         telemetry_clock     hook         a telemetry hub is attached
-2         memory_fill         stage        always
-3         retire_count        hook         a telemetry hub is attached
-4         backend_retire      stage        always
-5         measure_boundary    hook         always
-6         telemetry_tick      hook         a telemetry hub is attached
-7         fetch               stage        always
-8         predict             stage        always
-9         probe               stage        always
-10        prefetch            stage        a dedicated prefetcher is built
-11        invariant_sweep     hook         ``params.check_invariants``
-12        idle_skip           hook         no telemetry/checker/prefetcher
-13        livelock_guard      hook         always
+1         profile_prologue    hook         a stage profiler is attached
+2         telemetry_clock     hook         a telemetry hub is attached
+3         memory_fill         stage        always
+4         retire_count        hook         a telemetry hub is attached
+5         backend_retire      stage        always
+6         measure_boundary    hook         always
+7         telemetry_tick      hook         a telemetry hub is attached
+8         fetch               stage        always
+9         predict             stage        always
+10        probe               stage        always
+11        prefetch            stage        a dedicated prefetcher is built
+12        invariant_sweep     hook         ``params.check_invariants``
+13        idle_skip           hook         no telemetry/checker/prefetcher/profile
+14        livelock_guard      hook         always
 ========  ==================  ===========  =================================
+
+Under the ``profile`` feature (:mod:`repro.core.prof`) the emitter
+additionally wraps each composed point's body with perf-counter reads
+accumulating per-stage self time -- timers only observe, so profiled
+runs stay bit-identical to plain runs.
 
 :func:`build_kernel` *specializes* one loop body from the schedule at
 ``Simulator`` construction time: it composes only the points whose
@@ -54,7 +60,10 @@ from dataclasses import dataclass
 
 #: Feature flags a schedule point may require.  A kernel is specialized
 #: for one subset of these (the simulator's active features).
-FEATURES = ("telemetry", "checker", "prefetcher")
+#: ``profile`` additionally changes how the kernel is *emitted*: every
+#: composed point body is wrapped with perf-counter self-time
+#: accumulation (see :mod:`repro.core.prof`).
+FEATURES = ("telemetry", "checker", "prefetcher", "profile")
 
 
 @dataclass(frozen=True)
@@ -106,6 +115,15 @@ def _hook(
 
 
 CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
+    # Stage-profiler bindings (no per-cycle body of its own: the
+    # emitter wraps every *other* point's body with `_clk`/`_pacc`
+    # accesses when the profile feature is active).
+    _hook(
+        "profile_prologue",
+        requires="profile",
+        binds=("_clk = sim.profiler.clock", "_pacc = sim.profiler.acc"),
+        body=(),
+    ),
     # Refresh the telemetry clock before any stage can emit an event.
     _hook(
         "telemetry_clock",
@@ -201,7 +219,7 @@ CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
     # skipped path against the cycle-by-cycle one.
     _hook(
         "idle_skip",
-        excludes=("telemetry", "checker", "prefetcher"),
+        excludes=("telemetry", "checker", "prefetcher", "profile"),
         binds=(
             "dq = sim.decode_queue",
             "bpu = sim.bpu",
@@ -269,14 +287,31 @@ def active_points(features: frozenset[str]) -> list[SchedulePoint]:
     ]
 
 
+def profiled_points(features: frozenset[str]) -> list[SchedulePoint]:
+    """The points the ``profile`` feature wraps with self-time timers.
+
+    Every composed point with a per-cycle body, in emission order --
+    the index into this list is the index into
+    :attr:`repro.core.prof.StageProfiler.acc` the emitted kernel
+    accumulates into.
+    """
+    return [p for p in active_points(features) if p.body]
+
+
 def _emit_kernel(features: frozenset[str], name: str, stepping: bool) -> str:
     """Emit the composed cycle-loop source (the ONE loop body).
 
     Both kernel shapes are generated here so the codebase keeps exactly
     one cycle loop: the plain callable and the stepping generator
-    differ only by a trailing ``yield`` per iteration.
+    differ only by a trailing ``yield`` per iteration.  When the
+    ``profile`` feature is active each point body is bracketed with
+    ``_clk`` reads feeding the per-stage accumulator ``_pacc`` (bound
+    by the ``profile_prologue`` point); the wrap adds observation only,
+    never control flow.
     """
     points = active_points(features)
+    profiling = "profile" in features
+    profile_index = {id(p): i for i, p in enumerate(profiled_points(features))}
     lines = [f"def {name}(sim, target, warmup, guard):"]
     for point in points:
         for bind in point.binds:
@@ -286,8 +321,14 @@ def _emit_kernel(features: frozenset[str], name: str, stepping: bool) -> str:
     for point in points:
         if point.name == "livelock_guard":
             lines.append("        cycle += 1")
+        if not point.body:
+            continue
+        if profiling:
+            lines.append("        _pt = _clk()")
         for stmt in point.body:
             lines.append(f"        {stmt}")
+        if profiling:
+            lines.append(f"        _pacc[{profile_index[id(point)]}] += _clk() - _pt")
     if stepping:
         lines.append("        yield")
     lines.append("    sim.cycle = cycle")
@@ -380,7 +421,14 @@ def validate_stage_interfaces(sim) -> list[str]:
                 problems.append(f"{point.name}: binding {expr!r} failed: {exc}")
                 continue
             env[name] = value
-            object_binds = (".telemetry", ".ftq", ".backend", ".decode_queue", ".bpu")
+            object_binds = (
+                ".telemetry",
+                ".ftq",
+                ".backend",
+                ".decode_queue",
+                ".bpu",
+                ".profiler.acc",
+            )
             if not expr.endswith(object_binds) and not callable(value):
                 problems.append(f"{point.name}: binding {expr!r} is not callable")
     return problems

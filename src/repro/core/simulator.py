@@ -45,6 +45,7 @@ class Simulator:
         program: Program,
         stream: OracleStream,
         telemetry=None,
+        profiler=None,
     ) -> None:
         if not stream.segments:
             raise ValueError("oracle stream is empty")
@@ -64,7 +65,12 @@ class Simulator:
         self._measure_start_committed = 0
         self.warmup_stats: StatSet | None = None
         """Warmup-window counters, stashed at the measurement boundary."""
+        self.profiler = profiler
+        """Optional :class:`repro.core.prof.StageProfiler`; activates the
+        ``profile`` kernel feature (per-stage self-time accumulation)."""
         SimBuilder(params, program, stream).wire(self, telemetry)
+        if profiler is not None:
+            profiler.bind_to(self)
 
     def _fill_lines(self, cache, start: int, end: int) -> None:
         """Fill every cache line overlapping ``[start, end)`` into ``cache``."""
@@ -141,6 +147,8 @@ class Simulator:
             features.add("checker")
         if self.prefetcher is not None:
             features.add("prefetcher")
+        if self.profiler is not None:
+            features.add("profile")
         return frozenset(features)
 
     def _livelock_error(self, target: int) -> RuntimeError:
@@ -208,6 +216,8 @@ class Simulator:
             self.telemetry.finalize(self, result)
         if self.checker is not None:
             self.checker.check_end(result)
+        if self.profiler is not None:
+            self.profiler.finalize(self, result)
         return result
 
     def run(self, workload_name: str = "") -> RunResult:
@@ -228,15 +238,18 @@ class Simulator:
         return self._finish_run(workload_name)
 
 
-def simulate(workload: WorkloadSpec | str, params: SimParams, telemetry=None) -> RunResult:
+def simulate(
+    workload: WorkloadSpec | str, params: SimParams, telemetry=None, profiler=None
+) -> RunResult:
     """Convenience wrapper: generate the trace and run one simulation.
 
     ``telemetry`` (a :class:`repro.common.telemetry.Telemetry`) opts the
-    run into the telemetry-instrumented cycle kernel; ``None`` keeps the
-    uninstrumented fast path.
+    run into the telemetry-instrumented cycle kernel; ``profiler`` (a
+    :class:`repro.core.prof.StageProfiler`) into the stage-profiled
+    one; ``None`` keeps the uninstrumented fast path.
     """
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(workload, n)
-    sim = Simulator(params, program, stream, telemetry=telemetry)
+    sim = Simulator(params, program, stream, telemetry=telemetry, profiler=profiler)
     name = workload if isinstance(workload, str) else workload.name
     return sim.run(workload_name=name)

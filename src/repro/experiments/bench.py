@@ -228,6 +228,110 @@ def append_history(payload: dict, path: str | Path = HISTORY_FILE) -> Path:
     return path
 
 
+# ----------------------------------------------------------------------
+# Trend reporting over BENCH_history.jsonl
+# ----------------------------------------------------------------------
+def load_history(path: str | Path = HISTORY_FILE) -> list[dict]:
+    """Parse ``BENCH_history.jsonl``; malformed lines are skipped.
+
+    Returns records in file (chronological) order.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    records: list[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "aggregate" in record:
+            records.append(record)
+    return records
+
+
+def machine_key(record: dict) -> str:
+    """Grouping key for trend rows: one machine + python + bench mode.
+
+    Rates are only comparable within one machine and mode; the history
+    file may interleave entries from several (laptops, CI runners), so
+    the trend table groups by this key.
+    """
+    plat = record.get("platform", {})
+    return (
+        f"{plat.get('machine', '?')}/{plat.get('implementation', '?')}"
+        f"-{plat.get('python', '?')}/{record.get('mode', 'scalar')}"
+    )
+
+
+def _record_headline(record: dict) -> float | None:
+    agg = record.get("aggregate", {})
+    return (
+        agg.get("geomean_instructions_per_second")
+        or agg.get("instructions_per_second")
+        or None
+    )
+
+
+def trend_report(records: list[dict], last: int = 10) -> dict:
+    """Per-machine regression trend over the history trail.
+
+    For each machine/mode group: the last ``last`` entries with their
+    headline (geomean) rate and the relative delta versus the previous
+    entry, plus per-workload deltas of the newest entry versus the
+    oldest entry in the window (the "what drifted over this window"
+    view ``repro bench --trend`` prints).
+    """
+    groups: dict[str, list[dict]] = {}
+    for record in records:
+        groups.setdefault(machine_key(record), []).append(record)
+    out: dict[str, dict] = {}
+    for key, entries in groups.items():
+        window = entries[-max(1, last):]
+        rows = []
+        prev_rate = None
+        for record in window:
+            rate = _record_headline(record)
+            delta = (
+                (rate - prev_rate) / prev_rate
+                if rate is not None and prev_rate
+                else None
+            )
+            rows.append(
+                {
+                    "timestamp": record.get("timestamp"),
+                    "geomean_instructions_per_second": rate,
+                    "delta_vs_prev": delta,
+                }
+            )
+            if rate is not None:
+                prev_rate = rate
+        first, latest = window[0], window[-1]
+        per_workload: dict[str, float | None] = {}
+        first_rates = first.get("workloads", {}) or {}
+        latest_rates = latest.get("workloads", {}) or {}
+        for name in sorted(set(first_rates) | set(latest_rates)):
+            a, b = first_rates.get(name), latest_rates.get(name)
+            per_workload[name] = (b - a) / a if a and b else None
+        first_rate = _record_headline(first)
+        latest_rate = _record_headline(latest)
+        out[key] = {
+            "entries": len(entries),
+            "window": len(window),
+            "rows": rows,
+            "workload_delta_window": per_workload,
+            "geomean_delta_window": (
+                (latest_rate - first_rate) / first_rate
+                if first_rate and latest_rate
+                else None
+            ),
+        }
+    return out
+
+
 REGRESSION_THRESHOLD = 0.20
 """Per-workload slowdown beyond this fraction fails ``bench --baseline``."""
 

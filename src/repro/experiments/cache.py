@@ -24,14 +24,17 @@ exposed through :func:`cache_stats`; ``repro cache info`` prints them.
 from __future__ import annotations
 
 import dataclasses
+import datetime
 import hashlib
 import json
 import os
 import pickle
+import platform as platform_mod
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
 
+from repro import __version__ as repro_version
 from repro.common.params import SimParams
 from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
@@ -127,11 +130,63 @@ def run_key(workload: WorkloadSpec | str, params: SimParams) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+MANIFEST_SCHEMA_VERSION = 1
+"""Schema tag of the provenance sidecar manifests (``<key>.manifest.json``)."""
+
+
+def build_manifest(key: str, result: RunResult, meta: dict | None = None) -> dict:
+    """The provenance record written alongside one cached result.
+
+    Answers "where did this number come from" for a warm cache: what
+    was simulated (workload, config digest, resolved warmup/check
+    modes), by which code (simulation schema + package version), on
+    what host, and at what cost (wall seconds, peak RSS, batch mode --
+    supplied by the runner through ``meta``).
+    """
+    params = result.params
+    manifest = {
+        "manifest_schema": MANIFEST_SCHEMA_VERSION,
+        "schema": SIM_SCHEMA_VERSION,
+        "key": key,
+        "workload": result.workload,
+        "label": result.label,
+        "params_fingerprint": params_fingerprint(params),
+        "warmup_mode": params.warmup_mode,
+        "check_invariants": params.check_invariants,
+        "prefetcher": params.prefetcher,
+        "warmup_instructions": params.warmup_instructions,
+        "sim_instructions": params.sim_instructions,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "repro_version": repro_version,
+        "host": {
+            "platform": platform_mod.platform(),
+            "machine": platform_mod.machine(),
+            "python": platform_mod.python_version(),
+            "implementation": platform_mod.python_implementation(),
+        },
+    }
+    if meta:
+        manifest.update(meta)
+    return manifest
+
+
 # ----------------------------------------------------------------------
 # Disk cache
 # ----------------------------------------------------------------------
 class ResultCache:
-    """Pickle-per-entry result store keyed by :func:`run_key`."""
+    """Pickle-per-entry result store keyed by :func:`run_key`.
+
+    Each stored result gets a human-readable provenance sidecar
+    (``<key>.manifest.json``, see :func:`build_manifest`), surfaced via
+    ``repro cache info --manifests``.  Manifests are best-effort
+    derived data: a missing or unreadable manifest never invalidates
+    its result entry.
+    """
 
     def __init__(self, directory: Path | str | None = None, stats: StatSet | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
@@ -139,6 +194,9 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.directory / f"{key}.manifest.json"
 
     def get(self, key: str) -> RunResult | None:
         """Load a cached result; None on miss or stale/corrupt entry."""
@@ -154,6 +212,7 @@ class ResultCache:
             # Unreadable/corrupt entry: stale by definition.
             self.stats.bump("cache_stale")
             path.unlink(missing_ok=True)
+            self._manifest_path(key).unlink(missing_ok=True)
             return None
         if (
             not isinstance(payload, dict)
@@ -162,13 +221,19 @@ class ResultCache:
         ):
             self.stats.bump("cache_stale")
             path.unlink(missing_ok=True)
+            self._manifest_path(key).unlink(missing_ok=True)
             return None
         self.stats.bump("cache_disk_hit")
         self.stats.bump("cache_bytes_read", bytes_read)
         return payload["result"]
 
-    def put(self, key: str, result: RunResult) -> None:
-        """Store one result atomically (tmp file + rename)."""
+    def put(self, key: str, result: RunResult, meta: dict | None = None) -> None:
+        """Store one result atomically (tmp file + rename).
+
+        ``meta`` carries runner-supplied provenance fields (wall time,
+        peak RSS, worker pid, batch mode) merged into the sidecar
+        manifest.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -184,15 +249,58 @@ class ResultCache:
             return
         self.stats.bump("cache_store")
         self.stats.bump("cache_bytes_written", len(blob))
+        self._put_manifest(key, result, meta)
+
+    def _put_manifest(self, key: str, result: RunResult, meta: dict | None) -> None:
+        """Write the provenance sidecar (best-effort, atomic)."""
+        path = self._manifest_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(
+                json.dumps(build_manifest(key, result, meta), indent=2, sort_keys=True)
+                + "\n"
+            )
+            tmp.replace(path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def get_manifest(self, key: str) -> dict | None:
+        """Load one provenance manifest; None when absent or unreadable."""
+        try:
+            payload = json.loads(self._manifest_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def manifests(self) -> list[dict]:
+        """Every readable provenance manifest, newest first."""
+        if not self.directory.is_dir():
+            return []
+        out = []
+        for path in self.directory.glob("*.manifest.json"):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(payload, dict):
+                out.append(payload)
+        out.sort(key=lambda m: m.get("created_utc", ""), reverse=True)
+        return out
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Manifests and stray temp files are removed too (they are
+        derived data and do not count toward ``removed``).
+        """
         removed = 0
         if not self.directory.is_dir():
             return removed
         for path in self.directory.glob("*.pkl"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.directory.glob("*.manifest.json"):
+            path.unlink(missing_ok=True)
         for path in self.directory.glob("*.tmp.*"):
             path.unlink(missing_ok=True)
         return removed
@@ -201,6 +309,7 @@ class ResultCache:
         """Entry count and total bytes on disk plus session counters."""
         entries = 0
         total_bytes = 0
+        manifests = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.pkl"):
                 try:
@@ -208,10 +317,16 @@ class ResultCache:
                 except OSError:
                     continue
                 entries += 1
+            manifests = sum(1 for _ in self.directory.glob("*.manifest.json"))
+        session = self.stats.as_dict()
+        hits = session.get("cache_disk_hit", 0) + session.get("cache_memo_hit", 0)
+        lookups = hits + session.get("cache_disk_miss", 0)
         return {
             "directory": str(self.directory),
             "schema": SIM_SCHEMA_VERSION,
             "entries": entries,
+            "manifests": manifests,
             "total_bytes": total_bytes,
-            "session": self.stats.as_dict(),
+            "session": session,
+            "session_hit_rate": (hits / lookups) if lookups else 0.0,
         }

@@ -19,10 +19,13 @@ for IPC speedups, arithmetic mean for per-kilo-instruction metrics.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Iterable, Mapping
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
-from repro.common.log import get_logger
+from repro.common.ledger import open_ledger
+from repro.common.log import configure as configure_logging
+from repro.common.log import current_level_name, get_logger
 from repro.common.params import WARMUP_MODES, SimParams
 from repro.common.stats import amean, geomean
 from repro.core.batch import batchable, simulate_batch
@@ -65,14 +68,60 @@ def batch_width() -> int:
     return max(2, int(raw)) if raw else DEFAULT_BATCH_WIDTH
 
 
-def _simulate_point(workload: str, params: SimParams) -> RunResult:
-    """Worker entry point: one simulation (top-level for pickling)."""
-    return simulate(workload, params)
+def _peak_rss_kib() -> int | None:
+    """This process's peak resident-set size in KiB (None if unavailable)."""
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX platform
+        return None
 
 
-def _simulate_batch_point(workload: str, params_list: list[SimParams]) -> list[RunResult]:
-    """Worker entry point: one lockstep batch (top-level for pickling)."""
-    return simulate_batch(workload, params_list)
+def _unit_meta(started_ts: float, wall: float, instructions: int) -> dict:
+    """Execution metadata one work unit reports back to the parent.
+
+    Feeds the run ledger (``started``/``finished`` events) and the
+    provenance manifests the disk cache writes alongside results.
+    """
+    return {
+        "pid": os.getpid(),
+        "started_ts": started_ts,
+        "wall_seconds": wall,
+        "instructions": instructions,
+        "peak_rss_kib": _peak_rss_kib(),
+    }
+
+
+def _simulate_unit(
+    workload: str, params_list: list[SimParams]
+) -> tuple[list[RunResult], dict]:
+    """Worker entry point: one work unit (top-level for pickling).
+
+    A unit is either one scalar simulation (``len(params_list) == 1``)
+    or one lockstep batch; either way it returns the results in input
+    order plus the unit's execution metadata.
+    """
+    started_ts = time.time()
+    t0 = time.perf_counter()
+    if len(params_list) == 1:
+        results = [simulate(workload, params_list[0])]
+    else:
+        results = simulate_batch(workload, params_list)
+    wall = time.perf_counter() - t0
+    total = sum(p.warmup_instructions + p.sim_instructions for p in params_list)
+    return results, _unit_meta(started_ts, wall, total)
+
+
+def _pool_worker_init(log_level: str) -> None:
+    """Pool-worker initializer: inherit the parent's logging config.
+
+    Workers spawned by ``ProcessPoolExecutor`` start with unconfigured
+    logging on spawn-based platforms (and would silently drop
+    ``--log-level debug`` diagnostics); the parent threads its effective
+    level through so worker-side messages surface identically.
+    """
+    configure_logging(log_level)
 
 
 def resolve_warmup_mode(params: SimParams) -> SimParams:
@@ -140,10 +189,11 @@ def run_config(workload: str, params: SimParams) -> RunResult:
             _CACHE[key] = result
             return result
     CACHE_STATS.bump("sim_runs")
-    result = simulate(workload, params)
+    results, meta = _simulate_unit(workload, [params])
+    result = results[0]
     _CACHE[key] = result
     if disk is not None:
-        disk.put(key, result)
+        disk.put(key, result, meta=_manifest_meta(meta, unit_size=1))
     return result
 
 
@@ -161,6 +211,22 @@ def cache_size() -> int:
     return len(_CACHE)
 
 
+def _workload_name(workload) -> str:
+    """Catalogue name of a workload argument (string or explicit spec)."""
+    return workload if isinstance(workload, str) else workload.name
+
+
+def _manifest_meta(meta: dict, unit_size: int) -> dict:
+    """Provenance-manifest fields derived from one unit's execution meta."""
+    return {
+        "wall_seconds": meta["wall_seconds"],
+        "peak_rss_kib": meta["peak_rss_kib"],
+        "worker_pid": meta["pid"],
+        "batched": unit_size > 1,
+        "unit_size": unit_size,
+    }
+
+
 def run_points(
     points: Iterable[tuple[str, SimParams]],
     jobs: int | None = None,
@@ -171,27 +237,47 @@ def run_points(
     Cached points (memo or disk) never re-simulate; the remainder fans
     out across a process pool when ``jobs`` (default ``REPRO_JOBS``)
     exceeds 1 and more than one simulation is pending.
+
+    With ``REPRO_LEDGER`` set, every deduplicated point's lifecycle is
+    journalled to a run-ledger JSONL file (``queued`` ->
+    ``cache_hit`` | ``started`` -> ``finished`` | ``failed``); the
+    ledger only observes, so ledgered sweeps stay bit-identical to
+    plain ones.  When a work unit raises, the remaining units still run
+    (so the ledger reconciles) and the first failure re-raises after
+    the sweep drains.
     """
     jobs = repro_jobs() if jobs is None else max(1, jobs)
     disk = _disk()
+    ledger = open_ledger()
+    if ledger is not None:
+        ledger.begin(jobs=jobs, batching=batching_enabled(), batch_width=batch_width())
 
     resolved: dict[str, RunResult] = {}
     pending: dict[str, tuple[str, SimParams]] = {}
+    n_hits = 0
     for workload, params in points:
         params = _resolve(params)
         key = run_key(workload, params)
         if key in resolved or key in pending:
             continue
+        if ledger is not None:
+            ledger.queued(key, _workload_name(workload), params.label())
         result = _CACHE.get(key)
         if result is not None:
             CACHE_STATS.bump("cache_memo_hit")
             resolved[key] = result
+            n_hits += 1
+            if ledger is not None:
+                ledger.cache_hit(key, _workload_name(workload), params.label(), "memo")
             continue
         if disk is not None:
             result = disk.get(key)
             if result is not None:
                 _CACHE[key] = result
                 resolved[key] = result
+                n_hits += 1
+                if ledger is not None:
+                    ledger.cache_hit(key, _workload_name(workload), params.label(), "disk")
                 continue
         pending[key] = (workload, params)
 
@@ -201,6 +287,8 @@ def run_points(
         len(pending),
     )
     if not pending:
+        if ledger is not None:
+            ledger.end(queued=n_hits, cache_hits=n_hits, finished=0, failed=0)
         return resolved
 
     CACHE_STATS.bump("sim_runs", len(pending))
@@ -212,49 +300,111 @@ def run_points(
             len(batches),
             len(singles),
         )
-    n_units = len(batches) + len(singles)
-    if jobs > 1 and n_units > 1:
-        log.debug("fanning %d work unit(s) across %d worker(s)", n_units, jobs)
+    units: list[tuple[str, list[str]]] = [
+        (f"u{i}", group)
+        for i, group in enumerate(batches + [[key] for key in singles])
+    ]
+    n_finished = 0
+    n_failed = 0
+    failure: BaseException | None = None
+
+    def _record_unit(unit_id: str, group: list[str], results, meta) -> None:
+        nonlocal n_finished
+        if ledger is not None:
+            for key in group:
+                ledger.started(
+                    key,
+                    _workload_name(pending[key][0]),
+                    unit_id,
+                    meta["pid"],
+                    meta["started_ts"],
+                )
+        rate = (
+            meta["instructions"] / meta["wall_seconds"]
+            if meta["wall_seconds"] > 0
+            else 0.0
+        )
+        for key, result in zip(group, results):
+            workload, params = pending[key]
+            resolved[key] = result
+            _CACHE[key] = result
+            if disk is not None:
+                disk.put(key, result, meta=_manifest_meta(meta, unit_size=len(group)))
+            n_finished += 1
+            if ledger is not None:
+                ledger.finished(
+                    key,
+                    _workload_name(workload),
+                    params.label(),
+                    unit_id,
+                    len(group),
+                    meta["pid"],
+                    meta["wall_seconds"],
+                    params.warmup_instructions + params.sim_instructions,
+                    rate,
+                    result.ipc,
+                )
+
+    def _record_failure(unit_id: str, group: list[str], exc: BaseException) -> None:
+        nonlocal n_failed, failure
+        n_failed += len(group)
+        if failure is None:
+            failure = exc
+        log.error("work unit %s failed: %s", unit_id, exc)
+        if ledger is not None:
+            for key in group:
+                workload, params = pending[key]
+                ledger.failed(
+                    key, _workload_name(workload), params.label(), unit_id, str(exc)
+                )
+
+    if jobs > 1 and len(units) > 1:
+        log.debug("fanning %d work unit(s) across %d worker(s)", len(units), jobs)
         # Pre-generate the needed traces so forked workers inherit warm
         # lru_caches instead of regenerating per process.
         for workload, params in pending.values():
             make_trace(workload, params.warmup_instructions + params.sim_instructions)
-        with ProcessPoolExecutor(max_workers=min(jobs, n_units)) as pool:
-            futures = [
-                (
-                    group,
-                    pool.submit(
-                        _simulate_batch_point,
-                        pending[group[0]][0],
-                        [pending[k][1] for k in group],
-                    ),
-                )
-                for group in batches
-            ]
-            futures += [
-                ([key], pool.submit(_simulate_point, *pending[key]))
-                for key in singles
-            ]
-            for group, future in futures:
-                out = future.result()
-                results = out if isinstance(out, list) else [out]
-                for key, result in zip(group, results):
-                    resolved[key] = result
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(units)),
+            initializer=_pool_worker_init,
+            initargs=(current_level_name(),),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _simulate_unit,
+                    pending[group[0]][0],
+                    [pending[k][1] for k in group],
+                ): (unit_id, group)
+                for unit_id, group in units
+            }
+            for future in as_completed(futures):
+                unit_id, group = futures[future]
+                try:
+                    results, meta = future.result()
+                except Exception as exc:
+                    _record_failure(unit_id, group, exc)
+                    continue
+                _record_unit(unit_id, group, results, meta)
     else:
-        for group in batches:
-            results = _simulate_batch_point(
-                pending[group[0]][0], [pending[k][1] for k in group]
-            )
-            for key, result in zip(group, results):
-                resolved[key] = result
-        for key in singles:
-            resolved[key] = _simulate_point(*pending[key])
+        for unit_id, group in units:
+            try:
+                results, meta = _simulate_unit(
+                    pending[group[0]][0], [pending[k][1] for k in group]
+                )
+            except Exception as exc:
+                _record_failure(unit_id, group, exc)
+                continue
+            _record_unit(unit_id, group, results, meta)
 
-    for key in pending:
-        result = resolved[key]
-        _CACHE[key] = result
-        if disk is not None:
-            disk.put(key, result)
+    if ledger is not None:
+        ledger.end(
+            queued=n_hits + len(pending),
+            cache_hits=n_hits,
+            finished=n_finished,
+            failed=n_failed,
+        )
+    if failure is not None:
+        raise failure
     return resolved
 
 

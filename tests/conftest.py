@@ -40,7 +40,8 @@ def _clean_repro_env(monkeypatch):
     it to a per-run temporary directory.
     """
     for name in ("REPRO_WARMUP_MODE", "REPRO_JOBS", "REPRO_CHECK", "REPRO_CACHE",
-                 "REPRO_LOG", "REPRO_WORKLOADS", "REPRO_WARMUP", "REPRO_SIM"):
+                 "REPRO_LOG", "REPRO_WORKLOADS", "REPRO_WARMUP", "REPRO_SIM",
+                 "REPRO_LEDGER", "REPRO_BATCH", "REPRO_BATCH_WIDTH"):
         monkeypatch.delenv(name, raising=False)
 
 

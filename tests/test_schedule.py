@@ -31,6 +31,7 @@ class TestSchedule:
     def test_stage_order_matches_docstring(self):
         names = [p.name for p in CYCLE_SCHEDULE]
         assert names == [
+            "profile_prologue",
             "telemetry_clock",
             "memory_fill",
             "retire_count",
