@@ -13,6 +13,10 @@ simulator under the full correctness harness:
   oracle (:mod:`repro.check.differential`);
 * **checked == unchecked** -- a plain re-run must be bit-identical in
   every counter (the check layer only observes);
+* **typed == interp** -- when the plain run took the typed flat kernel
+  (:mod:`repro.core.typed`), a forced-interpreted re-run must be
+  bit-identical in every counter (the typed kernel is an optimisation,
+  never a semantic change);
 * **batched == scalar** -- a two-instance lockstep batch
   (:mod:`repro.core.batch`) must reproduce the plain scalar run
   bit-identically, instance by instance;
@@ -298,7 +302,7 @@ def run_trial(trial: FuzzTrial, pool: ProcessPoolExecutor | None = None) -> Fuzz
     base_counters = result.stats.as_dict()
 
     # Property 2: the check layer only observes (checked == unchecked).
-    plain, _ = _run(trial.params.replace(check_invariants=False), program, stream)
+    plain, plain_sim = _run(trial.params.replace(check_invariants=False), program, stream)
     if (
         plain.cycles != result.cycles
         or plain.instructions != result.instructions
@@ -310,6 +314,32 @@ def run_trial(trial: FuzzTrial, pool: ProcessPoolExecutor | None = None) -> Fuzz
             f"checked run differs from unchecked: cycles {result.cycles} vs "
             f"{plain.cycles}, instructions {result.instructions} vs {plain.instructions}",
         )
+
+    # Property 8 (ordering: needs `plain` from property 2): when the
+    # plain run took the typed flat kernel, a forced-interpreted re-run
+    # must be bit-identical -- the typed backend is an optimisation,
+    # never a semantic change.  (When the trial draws a real prefetcher
+    # the plain run is already interpreted and this property is vacuous;
+    # the checked-vs-unchecked comparison above still crosses backends
+    # on typed-eligible trials, so both directions stay covered.)
+    if plain_sim.kernel_backend != "interp":
+        interp, _ = _run(
+            trial.params.replace(check_invariants=False, kernel="interp"),
+            program,
+            stream,
+        )
+        if (
+            interp.cycles != plain.cycles
+            or interp.instructions != plain.instructions
+            or interp.stats.as_dict() != plain.stats.as_dict()
+        ):
+            return FuzzFailure(
+                trial,
+                "typed_interp_identity",
+                f"typed run ({plain_sim.kernel_backend}) differs from interp: "
+                f"cycles {plain.cycles} vs {interp.cycles}, instructions "
+                f"{plain.instructions} vs {interp.instructions}",
+            )
 
     # Property 7 (ordering: needs `plain` from property 2): the lockstep
     # batch path is bit-identical to scalar execution.  Two instances of

@@ -204,14 +204,26 @@ CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
         binds=("check_cycle = sim.checker.check_cycle",),
         body=("check_cycle(cycle)",),
     ),
-    # Idle-cycle fast-forward.  When the decode queue is empty and no
-    # stage can act before a known wake-up cycle -- the BPU is stalled
-    # (or the FTQ full), the FTQ head is absent / awaiting a fill / not
-    # yet consumable, and no entry awaits its probe -- every
-    # intervening cycle is a provable no-op except for the backend's
-    # one starvation bump, so the loop jumps straight to the earliest
-    # wake-up (next MSHR completion, BPU stall release, head ready
-    # cycle, or the livelock guard) and bumps starvation in bulk.
+    # Idle-cycle fast-forward.  When no frontend stage can act before a
+    # known wake-up cycle -- the BPU is stalled (or the FTQ full), the
+    # FTQ head is absent / awaiting a fill / not yet consumable, and no
+    # entry awaits its probe -- the frontend is a provable no-op until
+    # the earliest wake-up (next MSHR completion, BPU stall release,
+    # head ready cycle, or the livelock guard).  Two compressible
+    # shapes:
+    #
+    # * decode queue empty: every intervening cycle is exactly one
+    #   backend starvation bump, so the loop jumps straight to the
+    #   wake-up and bumps starvation in bulk;
+    # * decode queue holding only fault-free chunks (the
+    #   fetch-bandwidth-bound stretch: the head block is ready but
+    #   fetch already banked more instructions than the backend has
+    #   retired): only the backend acts, and with no fault in flight no
+    #   flush can occur, so Simulator._drain_to retires cycle-by-cycle
+    #   -- replicating per-cycle starvation accounting, take-splitting
+    #   and the head starved-flag -- without running the no-op
+    #   frontend stages.
+    #
     # Composed in only on the plain fast path: any observer that wants
     # to see every cycle (telemetry ticks, the invariant checker, a
     # prefetcher that may act on any cycle) suppresses it, which is
@@ -224,13 +236,14 @@ CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
             "dq = sim.decode_queue",
             "bpu = sim.bpu",
             "mshr_next_ready = sim.memory.mshrs.next_ready_cycle",
+            "_drain = sim._drain_to",
         ),
         body=(
             # The target check mirrors the loop condition: once the last
             # instruction has committed (this very iteration), the loop
             # is about to exit and a skip would pad cycles the
             # cycle-by-cycle loop never runs.
-            "if not dq._chunks and backend.committed < target:",
+            "if backend.committed < target:",
             "    entries = ftq._entries",
             "    head = entries[0] if entries else None",
             "    wake = 0",
@@ -258,8 +271,11 @@ CYCLE_SCHEDULE: tuple[SchedulePoint, ...] = (
             "        if wake > guard + 1:",
             "            wake = guard + 1",
             "        if wake > cycle + 1:",
-            "            backend.stats.bump('starvation_cycles', wake - cycle - 1)",
-            "            cycle = wake - 1",
+            "            if not dq._chunks:",
+            "                backend.stats.bump('starvation_cycles', wake - cycle - 1)",
+            "                cycle = wake - 1",
+            "            elif all(_c.fault is None for _c in dq._chunks):",
+            "                cycle = _drain(cycle, wake, target, warmup, head)",
         ),
     ),
     # A run exceeding the guard indicates a livelock; fail with context.

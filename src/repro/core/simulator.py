@@ -27,6 +27,7 @@ from repro.common.stats import StatSet
 from repro.core.build import SimBuilder, resolve_btb_variant
 from repro.core.metrics import RunResult
 from repro.core.schedule import build_kernel
+from repro.core.typed import backend_name, resolve_kernel_mode, supported, typed_kernel
 from repro.core.warmup import functional_warmup
 from repro.trace.cfg import Program
 from repro.trace.oracle import OracleStream
@@ -68,6 +69,11 @@ class Simulator:
         self.profiler = profiler
         """Optional :class:`repro.core.prof.StageProfiler`; activates the
         ``profile`` kernel feature (per-stage self-time accumulation)."""
+        self.kernel_backend = "interp"
+        """Which cycle-loop backend the last :meth:`run` selected:
+        ``typed-compiled`` / ``typed-python`` / ``interp``.  Stays
+        ``interp`` until a run decides otherwise (the batched lockstep
+        driver always steps the interpreted kernels)."""
         SimBuilder(params, program, stream).wire(self, telemetry)
         if profiler is not None:
             profiler.bind_to(self)
@@ -111,6 +117,61 @@ class Simulator:
             cycle + self.params.core.mispredict_penalty,
             reason=f"flush:{fault.kind_label}",
         )
+
+    # ------------------------------------------------------------------
+    # Fetch-bandwidth drain (idle_skip extension)
+    # ------------------------------------------------------------------
+    def _drain_to(self, cycle: int, wake: int, target: int, warmup: int, head) -> int:
+        """Retire-only drain of a fetch-bandwidth-bound stretch.
+
+        Called from the ``idle_skip`` hook when every frontend stage is
+        a provable no-op until ``wake`` (see the hook's wake
+        computation in :mod:`repro.core.schedule`) but the decode queue
+        still holds instructions -- all fault-free, so no flush can
+        occur and no new chunks can arrive.  Runs the backend
+        cycle-by-cycle up to ``wake - 1``, replicating exactly what the
+        full loop would have done each cycle: retire (with per-cycle
+        starvation accounting and take-splitting inside
+        :meth:`Backend.cycle`), the measurement boundary, and fetch's
+        ``starved_while_head`` flag on the non-consumable head.  Once
+        the queue empties mid-drain the remaining cycles collapse to a
+        bulk starvation bump, matching the plain idle skip that would
+        have fired at that cycle with the identical wake.  Returns the
+        cycle the caller's loop variable resumes from (the cycle the
+        target was reached, or ``wake - 1``).
+        """
+        backend = self.backend
+        backend_cycle = backend.cycle
+        dq = self.decode_queue
+        chunks = dq._chunks
+        capacity = dq.capacity
+        fetch_width = self.fetch._fetch_width
+        end = wake - 1
+        c = cycle
+        while c < end:
+            c += 1
+            backend_cycle(c)
+            if not self._measuring and backend.committed >= warmup:
+                self.cycle = c
+                self._begin_measurement()
+            # Fetch's starved flag: only when fetch would have run (free
+            # decode slots) and found too few banked instructions.
+            if (
+                head is not None
+                and dq.total_instrs < capacity
+                and dq.total_instrs < fetch_width
+            ):
+                head.starved_while_head = True
+            if backend.committed >= target:
+                return c
+            if not chunks:
+                rem = end - c
+                if rem > 0:
+                    backend.stats.bump("starvation_cycles", rem)
+                    if head is not None:
+                        head.starved_while_head = True
+                return end
+        return end
 
     # ------------------------------------------------------------------
     # Measurement window
@@ -229,12 +290,20 @@ class Simulator:
         ``"cycle"`` (and ``"auto"``, for this direct API) warms through
         the full pipeline as before.
 
-        The cycle loop itself is the schedule-specialized kernel for
-        this simulator's :meth:`active_features`.
+        The cycle loop is either the flat typed kernel
+        (:mod:`repro.core.typedkern`, bit-identical by contract) or the
+        schedule-specialized interpreted kernel for this simulator's
+        :meth:`active_features` -- selected by ``params.kernel`` /
+        ``REPRO_KERNEL`` and recorded in :attr:`kernel_backend`.
         """
         target, warmup, guard = self._prepare_run(workload_name)
-        kernel = build_kernel(self.active_features())
-        kernel(self, target, warmup, guard)
+        if resolve_kernel_mode(self.params.kernel) != "interp" and supported(self)[0]:
+            self.kernel_backend = backend_name()
+            typed_kernel(self, target, warmup, guard)
+        else:
+            self.kernel_backend = "interp"
+            kernel = build_kernel(self.active_features())
+            kernel(self, target, warmup, guard)
         return self._finish_run(workload_name)
 
 

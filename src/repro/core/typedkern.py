@@ -1,0 +1,674 @@
+"""Flattened typed cycle kernel (the ``typed`` backend's loop body).
+
+This module is the hand-lowered counterpart of the schedule-generated
+interpreted kernel for the *uninstrumented* feature set (no telemetry,
+no checker, no dedicated prefetcher, no profiler): one flat function
+whose body inlines the five hot stage bodies -- ``memory_fill``,
+``backend_retire``, ``fetch``, ``predict``, ``probe`` -- plus the
+``measure_boundary``, ``idle_skip`` (including the fetch-bandwidth
+drain extension) and ``livelock_guard`` hooks, operating on ints and
+pre-bound component internals instead of per-cycle method dispatch.
+
+**Bit identity is the contract.**  Every statement here replicates the
+exact semantics (including stat-bump names and ordering-visible side
+effects) of the components the interpreted kernel calls:
+:class:`repro.core.backend.Backend`/:class:`DecodeQueue`,
+:class:`repro.frontend.fetch.FetchUnit`,
+:class:`repro.frontend.bpu.BranchPredictionUnit`,
+:class:`repro.memory.hierarchy.InstructionMemory` (TLB / Cache / MSHR
+inlined), and the ``idle_skip`` hook in
+:mod:`repro.core.schedule`.  The contract is pinned by
+``tests/test_typed.py`` and the fuzzer's ``typed_interp_identity``
+property -- any drift is a test failure, not a tolerance.
+
+Rare or cold paths stay calls into the real components so their logic
+is never duplicated: ``trainer.advance`` (commit training),
+``sim._on_flush`` (pipeline flush), ``fetch._predecode_checks`` (PFC),
+``memory._fill_latency`` (L2/DRAM fill path), ``l1i.fill``,
+``btb.scan_block``, ``direction.predict``, ``ittage.predict``,
+``loop.predict``, ``compute_fault`` and ``sim._begin_measurement``.
+
+The module is written to be **mypyc-compilable**: plain functions,
+plain annotations, no dynamic class magic.  When a toolchain is
+present (``pip install repro[compiled]`` + ``mypyc``), the compiled
+extension shadows this file and :func:`repro.core.typed.backend_name`
+reports ``typed-compiled``; otherwise the pure-Python module runs
+as-is (``typed-python``), which is already faster than the
+interpreted kernel because the per-cycle dispatch, dataclass
+construction and stat-bump call overhead are gone.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.branch.history import TARGET_SHIFT
+from repro.core.backend import _Chunk
+from repro.frontend.bpu import compute_fault
+from repro.frontend.ftq import FTQEntry
+from repro.isa.instructions import BranchKind
+from repro.memory.mshr import MSHREntry
+
+_COND = BranchKind.COND_DIRECT
+_CALL_DIRECT = BranchKind.CALL_DIRECT
+_RETURN = BranchKind.RETURN
+_INDIRECT = BranchKind.INDIRECT
+_INDIRECT_CALL = BranchKind.INDIRECT_CALL
+
+
+def _mshr_ready_key(entry) -> int:
+    # Sort key matching MSHRFile.pop_ready (stable sort on ready_cycle).
+    return entry.ready_cycle
+
+
+def typed_kernel(sim, target: int, warmup: int, guard: int) -> None:
+    """Run ``sim`` until ``target`` instructions commit.
+
+    Drop-in replacement for the schedule-built ``_kernel(sim, target,
+    warmup, guard)`` when ``sim.active_features()`` is empty; see
+    :func:`repro.core.typed.supported`.
+    """
+    # ------------------------------------------------------------------
+    # One-time binds.  Component *objects* are stable for the whole run
+    # (the measurement-boundary swap replaces only `.stats`); container
+    # internals (lists/dicts/deques) are mutated in place everywhere --
+    # the single exception is the speculative RAS `_stack`, which
+    # `copy_from` reassigns on flush, so only the RAS object is bound.
+    # ------------------------------------------------------------------
+    params = sim.params
+
+    memory = sim.memory
+    mshrs = memory.mshrs
+    by_line = mshrs._by_line
+    mshr_capacity: int = mshrs.n_entries
+    l1i = memory.l1i
+    l1i_sets = l1i._sets
+    l1i_line_shift: int = l1i._line_shift
+    l1i_line_mask: int = l1i._line_mask
+    l1i_set_mask: int = l1i._set_mask
+    l1i_n_sets: int = l1i.n_sets
+    l1i_fill = l1i.fill
+    fill_latency = memory._fill_latency
+    perfect_mem: bool = memory.perfect
+    prefetched_untouched = memory._prefetched_untouched
+    tlb = memory.itlb
+    tlb_pages = tlb._pages
+    tlb_capacity: int = tlb.n_entries
+    tlb_page_mask: int = ~(tlb.page_bytes - 1)
+    tlb_miss_latency: int = tlb.miss_latency
+
+    ftq = sim.ftq
+    entries = ftq._entries
+    ftq_capacity: int = ftq.n_entries
+
+    dq = sim.decode_queue
+    chunks = dq._chunks
+    dq_capacity: int = dq.capacity
+
+    backend = sim.backend
+    trainer_advance = backend.trainer.advance
+    retire_width: int = backend._retire_width
+    on_flush = sim._on_flush
+
+    fetch = sim.fetch
+    fetch_width: int = fetch._fetch_width
+    probe_width: int = fetch._probe_width
+    wrong_path_fills: bool = fetch._wrong_path_fills
+    predecode_checks = fetch._predecode_checks
+    # _predecode_checks early-returns unless PFC or GHR2/3 fixups are
+    # on; gate the call so the common configurations skip it entirely.
+    predecode_active: bool = params.frontend.pfc_enabled or fetch.mgr.fixes_not_taken
+
+    bpu = sim.bpu
+    ras = bpu.ras
+    ras_capacity: int = ras.n_entries
+    mgr = bpu.mgr
+    hist_mask: int = mgr.mask
+    target_history: bool = mgr._target_history
+    ideal: bool = mgr._ideal
+    push_outcome = mgr.push_outcome
+    ideal_pushes = bpu._ideal_pushes
+    direction = bpu.direction  # None under perfect_direction
+    direction_predict = direction.predict if direction is not None else None
+    loop_pred = bpu.loop  # None unless the loop predictor is enabled
+    ittage_predict = bpu.ittage.predict
+    btb = bpu.btb
+    scan_block = btb.scan_block
+    two_level_btb: bool = bpu._two_level_btb
+    was_l2_sourced = btb.was_l2_sourced if two_level_btb else None
+    btb_l2_extra: int = params.branch.btb_l2_extra_latency
+    predict_width: int = bpu._predict_width
+    max_taken: int = bpu._max_taken
+    perfect_btb: bool = bpu._perfect_btb
+    perfect_direction: bool = bpu._perfect_direction
+    perfect_indirect: bool = bpu._perfect_indirect
+    block_mask: int = bpu._block_mask
+    block_last_off: int = bpu._block_last
+    segments = bpu._segments
+    meta_addrs = bpu._meta_addrs
+    meta_triples = bpu._meta_triples
+    stream = sim.stream
+    program = sim.program
+
+    new_entry = FTQEntry.__new__
+
+    # All components share one StatSet; bind its counter dict directly
+    # (re-bound after the measurement-boundary swap).
+    counters = sim.stats._counters
+    measuring: bool = sim._measuring
+    committed: int = backend.committed
+    cycle: int = sim.cycle
+
+    while committed < target:
+        # ---- stage: memory_fill (InstructionMemory.tick inlined) -----
+        if by_line:
+            fills = [m for m in by_line.values() if m.ready_cycle <= cycle]
+            if fills:
+                for m in fills:
+                    del by_line[m.line]
+                if len(fills) > 1:
+                    fills.sort(key=_mshr_ready_key)
+                for m in fills:
+                    line = m.line
+                    victim = l1i_fill(line).victim
+                    if victim and victim in prefetched_untouched:
+                        prefetched_untouched.discard(victim)
+                        counters["prefetch_useless"] += 1
+                    if m.is_prefetch:
+                        counters["prefetch_fill"] += 1
+                        prefetched_untouched.add(line)
+                # FetchUnit.complete_fills: wake waiting FTQ entries.
+                for m in fills:
+                    for waiter in m.waiters:
+                        if waiter.state == 2:  # STATE_AWAIT_FILL
+                            waiter.state = 3  # STATE_READY
+                            waiter.way = 0
+                            waiter.ready_cycle = cycle
+
+        # ---- stage: backend_retire (Backend.cycle inlined) -----------
+        if dq.total_instrs < retire_width:
+            counters["starvation_cycles"] += 1
+            retire = len(chunks) > 0
+        else:
+            retire = True
+        if retire:
+            budget = retire_width
+            while budget > 0 and chunks:
+                chunk = chunks[0]
+                avail = chunk.n - chunk.pos
+                take = budget if budget < avail else avail
+                fault = chunk.fault
+                if fault is not None and chunk.pos <= chunk.fault_index < chunk.pos + take:
+                    take = chunk.fault_index - chunk.pos + 1
+                    fault_hit = True
+                else:
+                    fault_hit = False
+                if chunk.wrong_path:
+                    counters["wrong_path_consumed"] += take
+                else:
+                    committed += take
+                    backend.committed = committed
+                    counters["committed_instructions"] += take
+                    trainer_advance(take)
+                chunk.pos += take
+                dq.total_instrs -= take
+                if chunk.pos >= chunk.n:
+                    chunks.popleft()
+                budget -= take
+                if fault_hit:
+                    counters["branch_mispredictions"] += 1
+                    counters["mispredict_" + fault.kind_label] += 1
+                    if fault.branch_kind is _COND:
+                        counters["cond_mispredictions"] += 1
+                    on_flush(fault, cycle)
+                    break
+
+        # ---- hook: measure_boundary ----------------------------------
+        if not measuring and committed >= warmup:
+            sim.cycle = cycle
+            sim._begin_measurement()
+            measuring = True
+            counters = sim.stats._counters
+
+        # ---- stage: fetch (FetchUnit.fetch_stage inlined) ------------
+        budget = dq_capacity - dq.total_instrs
+        if budget > fetch_width:
+            budget = fetch_width
+        while budget > 0:
+            if not entries:
+                break
+            head = entries[0]
+            if head.state != 3 or head.ready_cycle > cycle:
+                if dq.total_instrs < fetch_width:
+                    head.starved_while_head = True
+                break
+            if not head.pfc_checked:
+                head.pfc_checked = True
+                if predecode_active:
+                    predecode_checks(head, cycle)
+            consumed = head.consumed
+            if consumed == 0 and head.missed:
+                # Fig 14 classification (FetchUnit._classify_miss).
+                if head.miss_issued_at_head:
+                    counters["miss_fully_exposed"] += 1
+                elif head.starved_while_head:
+                    counters["miss_partially_exposed"] += 1
+                else:
+                    counters["miss_covered"] += 1
+            remaining = ((head.term_addr - head.start) >> 2) + 1 - consumed
+            take = budget if budget < remaining else remaining
+            # FetchUnit._push_chunk inlined.
+            fault = None
+            fault_index = -1
+            wrong_path = head.cursor_seg == -1  # WRONG_PATH
+            head_fault = head.fault
+            if head_fault is not None:
+                rel = (head_fault.pc - head.start) >> 2
+                if consumed <= rel < consumed + take:
+                    fault = head_fault
+                    fault_index = rel - consumed
+                elif consumed > rel:
+                    wrong_path = True
+            chunks.append(_Chunk(take, fault, fault_index, wrong_path))
+            dq.total_instrs += take
+            head.consumed = consumed + take
+            budget -= take
+            if take == remaining:
+                del entries[0]
+                if ftq.probe_ptr > 0:
+                    ftq.probe_ptr -= 1
+
+        # ---- stage: predict (BranchPredictionUnit.cycle inlined) -----
+        if cycle >= bpu.stall_until:
+            pbudget = predict_width
+            taken_budget = max_taken
+            while pbudget > 0 and len(entries) < ftq_capacity:
+                # _predict_entry inlined.
+                start = bpu.pc
+                cursor_seg = bpu.cursor_seg
+                on_path = cursor_seg != -1
+                seg = segments[cursor_seg] if on_path else None
+                block_last = (start & block_mask) + block_last_off
+                hist = bpu.hist
+                hist_snapshot = hist
+                detected: list[int] = []
+                dir_pushes: list = []
+                ras_stack = ras._stack
+                ras_top = ras_stack[-1] if ras_stack else None
+                pred_taken = False
+                pred_target = 0
+                term_addr = block_last
+
+                if perfect_btb:
+                    lo = bisect_left(meta_addrs, start)
+                    hi = bisect_right(meta_addrs, block_last)
+                    candidates = meta_triples[lo:hi]
+                else:
+                    candidates = [
+                        (e.addr, e.kind, e.target) for e in scan_block(start, block_last)
+                    ]
+
+                for addr, kind, btb_target in candidates:
+                    if kind is _COND:
+                        override = loop_pred.predict(addr) if loop_pred is not None else None
+                        if override is not None:
+                            taken = override
+                        elif perfect_direction:
+                            if seg is not None:
+                                taken = (
+                                    seg.next_start != 0
+                                    and seg.end == addr
+                                    and seg.taken_branch is not None
+                                )
+                            else:
+                                taken = False
+                        else:
+                            taken = direction_predict(addr, hist)
+                        detected.append(addr)
+                        if not taken:
+                            if not target_history and not ideal:
+                                hist = (hist << 1) & hist_mask
+                                dir_pushes.append((addr, False))
+                            continue
+                        tgt = btb_target
+                    else:
+                        detected.append(addr)
+                        # _resolve_target inlined: only register-indirect
+                        # kinds consult the oracle/ITTAGE; every other
+                        # kind takes the BTB target (returns get the RAS
+                        # override below).
+                        if kind is _INDIRECT or kind is _INDIRECT_CALL:
+                            if (
+                                perfect_indirect
+                                and seg is not None
+                                and seg.end == addr
+                                and seg.next_start
+                            ):
+                                tgt = seg.next_start
+                            else:
+                                predicted_tgt = ittage_predict(addr, hist)
+                                tgt = predicted_tgt if predicted_tgt is not None else btb_target
+                        else:
+                            tgt = btb_target
+                    # Taken branch terminates the entry; apply its RAS
+                    # effect (ReturnAddressStack push/pop inlined).
+                    if kind is _CALL_DIRECT or kind is _INDIRECT_CALL:
+                        ras.pushes += 1
+                        ras_stack = ras._stack
+                        if len(ras_stack) >= ras_capacity:
+                            ras_stack.pop(0)
+                            ras.overflows += 1
+                        ras_stack.append(addr + 4)
+                    elif kind is _RETURN:
+                        ras.pops += 1
+                        ras_stack = ras._stack
+                        if ras_stack:
+                            tgt = ras_stack.pop()
+                        else:
+                            ras.underflows += 1
+                    if not ideal:
+                        # HistoryManager.spec_push(taken) inlined.
+                        if target_history:
+                            hist = (
+                                (hist << TARGET_SHIFT) ^ (addr >> 2) ^ (tgt >> 3)
+                            ) & hist_mask
+                        else:
+                            hist = ((hist << 1) | 1) & hist_mask
+                            dir_pushes.append((addr, True))
+                    pred_taken = True
+                    pred_target = tgt
+                    term_addr = addr
+                    counters["bpu_taken_predictions"] += 1
+                    break
+
+                if ideal:
+                    if on_path:
+                        hist = ideal_pushes(seg, start, term_addr, hist, dir_pushes)
+                    else:
+                        for d_addr in detected:
+                            bit = d_addr == term_addr and pred_taken
+                            hist = push_outcome(hist, d_addr, bit, pred_target)
+                            dir_pushes.append((d_addr, bit))
+
+                detected_upto = tuple(detected)
+                fault = None
+                cont_seg = -1
+                if on_path:
+                    fault, cont_seg = compute_fault(
+                        stream,
+                        cursor_seg,
+                        start,
+                        term_addr,
+                        pred_taken,
+                        pred_target,
+                        detected_upto,
+                        program,
+                    )
+
+                # FTQEntry construction without __init__/__post_init__
+                # (bounds are aligned by construction here).
+                entry = new_entry(FTQEntry)
+                entry.uid = bpu._uid
+                entry.start = start
+                entry.term_addr = term_addr
+                entry.pred_taken = pred_taken
+                entry.pred_target = pred_target
+                entry.hist_snapshot = hist_snapshot
+                entry.detected = detected_upto
+                entry.dir_pushes = tuple(dir_pushes)
+                entry.ras_top = ras_top
+                entry.cursor_seg = cursor_seg if on_path else -1
+                entry.fault = fault
+                entry.state = 1  # STATE_AWAIT_PROBE
+                entry.way = -1
+                entry.ready_cycle = -1
+                entry.consumed = 0
+                entry.missed = False
+                entry.miss_issued_at_head = False
+                entry.starved_while_head = False
+                entry.pfc_checked = False
+                bpu._uid += 1
+                bpu.hist = hist
+                bpu.pc = pred_target if pred_taken else term_addr + 4
+                if not on_path or fault is not None:
+                    bpu.cursor_seg = -1
+                else:
+                    bpu.cursor_seg = cont_seg
+
+                entries.append(entry)
+                counters["ftq_entries_created"] += 1
+                pbudget -= ((term_addr - start) >> 2) + 1
+                if pred_taken:
+                    if two_level_btb and was_l2_sourced(term_addr):
+                        counters["btb_l2_taken_predictions"] += 1
+                        until = cycle + 1 + btb_l2_extra
+                        if until > bpu.stall_until:
+                            bpu.stall_until = until
+                        break
+                    taken_budget -= 1
+                    if taken_budget <= 0:
+                        break
+
+        # ---- stage: probe (FetchUnit.probe_stage inlined) ------------
+        n = len(entries)
+        pp = ftq.probe_ptr
+        while pp < n and entries[pp].state != 1:
+            pp += 1
+        ftq.probe_ptr = pp
+        if pp < n:
+            probes = probe_width
+            idx = pp
+            while idx < n and probes > 0:
+                entry = entries[idx]
+                if entry.state == 1:
+                    if not wrong_path_fills and entry.cursor_seg == -1:
+                        # Ablation: wrong-path entries consume no memory
+                        # bandwidth.
+                        entry.state = 3
+                        entry.ready_cycle = cycle + 1
+                        entry.way = 0
+                    else:
+                        probes -= 1
+                        # InstructionMemory.demand_probe inlined:
+                        # TLB.translate ...
+                        addr = entry.start
+                        page = addr & tlb_page_mask
+                        if page in tlb_pages:
+                            tlb_pages.move_to_end(page)
+                            tlb.hits += 1
+                            tlb_lat = 0
+                        else:
+                            tlb.misses += 1
+                            if len(tlb_pages) >= tlb_capacity:
+                                tlb_pages.popitem(last=False)
+                            tlb_pages[page] = None
+                            tlb_lat = tlb_miss_latency
+                        counters["l1i_tag_access"] += 1
+                        # ... then Cache.probe.
+                        line = addr & l1i_line_mask
+                        l1i.tag_probes += 1
+                        set_shift = addr >> l1i_line_shift
+                        if l1i_set_mask >= 0:
+                            set_idx = set_shift & l1i_set_mask
+                        else:
+                            set_idx = set_shift % l1i_n_sets
+                        ways = l1i_sets[set_idx]
+                        way = -1
+                        if ways:
+                            if ways[0] == line:  # MRU fast path
+                                way = 0
+                            else:
+                                w = 1
+                                n_ways = len(ways)
+                                while w < n_ways:
+                                    if ways[w] == line:
+                                        way = w
+                                        del ways[w]
+                                        ways.insert(0, line)
+                                        break
+                                    w += 1
+                        if way >= 0:
+                            l1i.hits += 1
+                            counters["l1i_hit"] += 1
+                            if line in prefetched_untouched:
+                                prefetched_untouched.discard(line)
+                                counters["prefetch_useful"] += 1
+                            entry.state = 3
+                            entry.way = way
+                            entry.ready_cycle = cycle + tlb_lat + 1
+                        else:
+                            l1i.misses += 1
+                            counters["l1i_tag_miss"] += 1
+                            if perfect_mem:
+                                counters["l1i_miss"] += 1
+                                l1i_fill(addr)
+                                counters["memory_requests"] += 1
+                                entry.state = 3
+                                entry.way = 0
+                                entry.ready_cycle = cycle + tlb_lat + 1
+                            else:
+                                inflight = by_line.get(line)
+                                if inflight is not None:
+                                    # Secondary miss: merge into the
+                                    # outstanding fill (MSHR allocate).
+                                    primary = inflight.is_prefetch
+                                    if primary:
+                                        counters["prefetch_late"] += 1
+                                        counters["l1i_miss"] += 1
+                                    else:
+                                        counters["l1i_miss_secondary"] += 1
+                                    mshrs.merges += 1
+                                    inflight.is_prefetch = False
+                                    inflight.waiters.append(entry)
+                                    entry.state = 2  # STATE_AWAIT_FILL
+                                    entry.missed = primary
+                                    entry.miss_issued_at_head = primary and idx == 0
+                                elif len(by_line) >= mshr_capacity:
+                                    counters["mshr_stall"] += 1
+                                    counters["probe_retry"] += 1
+                                    entry.missed = True
+                                else:
+                                    counters["l1i_miss"] += 1
+                                    mshr = MSHREntry(
+                                        line=line,
+                                        issue_cycle=cycle,
+                                        ready_cycle=cycle + tlb_lat + fill_latency(line),
+                                        is_prefetch=False,
+                                    )
+                                    mshr.waiters.append(entry)
+                                    by_line[line] = mshr
+                                    mshrs.allocations += 1
+                                    occ = len(by_line)
+                                    if occ > mshrs.peak_occupancy:
+                                        mshrs.peak_occupancy = occ
+                                    entry.state = 2  # STATE_AWAIT_FILL
+                                    entry.missed = True
+                                    entry.miss_issued_at_head = idx == 0
+                idx += 1
+
+        # ---- hook: idle_skip + fetch-bandwidth drain -----------------
+        # Mirrors the schedule's idle_skip hook exactly (see
+        # repro.core.schedule), including the drain extension: when the
+        # earliest wake event is known and the decode queue still holds
+        # fault-free chunks, the retire-only cycles in between are
+        # compressed (Simulator._drain_to inlined).
+        if committed < target:
+            head_entry = entries[0] if entries else None
+            wake = 0
+            if head_entry is None:
+                wake = guard + 1
+            elif head_entry.state == 2:  # AWAIT_FILL: woken by an MSHR completion
+                wake = guard + 1
+            elif head_entry.state == 3 and head_entry.ready_cycle > cycle + 1:
+                wake = head_entry.ready_cycle
+            if wake:
+                if len(entries) < ftq_capacity:
+                    stall_until = bpu.stall_until
+                    if stall_until <= cycle + 1:
+                        wake = 0  # the BPU can predict next cycle
+                    elif stall_until < wake:
+                        wake = stall_until
+                if wake:
+                    for e in entries:
+                        if e.state == 1:  # AWAIT_PROBE: probe acts next cycle
+                            wake = 0
+                            break
+            if wake:
+                if by_line:
+                    next_fill = min(m.ready_cycle for m in by_line.values())
+                    if next_fill < wake:
+                        wake = next_fill
+                if wake > guard + 1:
+                    wake = guard + 1
+            if wake > cycle + 1:
+                if not chunks:
+                    counters["starvation_cycles"] += wake - cycle - 1
+                    cycle = wake - 1
+                else:
+                    fault_free = True
+                    for chunk in chunks:
+                        if chunk.fault is not None:
+                            fault_free = False
+                            break
+                    if fault_free:
+                        # Drain: only the backend acts until `wake`; no
+                        # flush is possible, so retire cycle-by-cycle
+                        # (take-splitting and per-cycle starvation
+                        # accounting replicated exactly) without running
+                        # the no-op frontend stages.
+                        c = cycle
+                        end = wake - 1
+                        while c < end:
+                            c += 1
+                            if dq.total_instrs < retire_width:
+                                counters["starvation_cycles"] += 1
+                            budget = retire_width
+                            while budget > 0 and chunks:
+                                chunk = chunks[0]
+                                avail = chunk.n - chunk.pos
+                                take = budget if budget < avail else avail
+                                if chunk.wrong_path:
+                                    counters["wrong_path_consumed"] += take
+                                else:
+                                    committed += take
+                                    backend.committed = committed
+                                    counters["committed_instructions"] += take
+                                    trainer_advance(take)
+                                chunk.pos += take
+                                dq.total_instrs -= take
+                                if chunk.pos >= chunk.n:
+                                    chunks.popleft()
+                                budget -= take
+                            if not measuring and committed >= warmup:
+                                sim.cycle = c
+                                sim._begin_measurement()
+                                measuring = True
+                                counters = sim.stats._counters
+                            # Fetch's starved flag: only when fetch would
+                            # have run (free decode slots) and found too
+                            # few banked instructions.
+                            if (
+                                head_entry is not None
+                                and dq.total_instrs < dq_capacity
+                                and dq.total_instrs < fetch_width
+                            ):
+                                head_entry.starved_while_head = True
+                            if committed >= target:
+                                break
+                            if not chunks:
+                                rem = end - c
+                                if rem > 0:
+                                    counters["starvation_cycles"] += rem
+                                    if head_entry is not None:
+                                        head_entry.starved_while_head = True
+                                c = end
+                                break
+                        cycle = c
+
+        # ---- hook: livelock_guard ------------------------------------
+        cycle += 1
+        if cycle > guard:
+            sim.cycle = cycle
+            raise sim._livelock_error(target)
+
+    sim.cycle = cycle

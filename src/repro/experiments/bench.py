@@ -42,6 +42,7 @@ from repro.common.params import SimParams
 from repro.common.stats import geomean
 from repro.core.batch import run_batch
 from repro.core.simulator import Simulator
+from repro.core.typed import kernel_backend_for_params, resolve_kernel_mode
 from repro.experiments.configs import QUICK_WORKLOADS, default_params
 from repro.trace.workloads import make_trace
 
@@ -125,6 +126,7 @@ def run_bench(
     fast_warmup: bool = False,
     batched: bool = False,
     batch_width: int = DEFAULT_BENCH_BATCH_WIDTH,
+    kernel: str | None = None,
 ) -> dict:
     """Benchmark the cycle loop; returns the BENCH_core payload.
 
@@ -134,11 +136,22 @@ def run_bench(
     so the speedup from skipping cycle-accurate warmup shows up in
     ``instructions_per_second`` directly.  ``batched`` benchmarks the
     lockstep batch path instead of one scalar instance per workload.
+    ``kernel`` overrides the cycle-kernel mode (mirrors
+    ``REPRO_KERNEL``); the *resolved* mode and the concrete backend the
+    scalar runs select (``typed-compiled`` / ``typed-python`` /
+    ``interp``) are recorded in the payload's config, so benchmark
+    numbers from different backends are never mistaken for the same
+    series (batched runs always drive the interpreted stepping
+    kernels).
     """
     workloads = workloads or list(QUICK_WORKLOADS)
     params = params or default_params()
     if fast_warmup:
         params = params.replace(warmup_mode="functional")
+    if kernel is not None:
+        params = params.replace(kernel=kernel)
+    params = params.replace(kernel=resolve_kernel_mode(params.kernel))
+    kernel_backend = "interp" if batched else kernel_backend_for_params(params)
     per_workload: dict[str, dict] = {}
     for wl in workloads:
         if batched:
@@ -154,6 +167,8 @@ def run_bench(
         "warmup_instructions": params.warmup_instructions,
         "sim_instructions": params.sim_instructions,
         "warmup_mode": params.warmup_mode,
+        "kernel": params.kernel,
+        "kernel_backend": kernel_backend,
         "label": params.label(),
         "repeats": repeats,
         "workloads": workloads,
@@ -205,6 +220,7 @@ def append_history(payload: dict, path: str | Path = HISTORY_FILE) -> Path:
         "schema": payload.get("schema"),
         "platform": payload.get("platform", {}),
         "mode": payload.get("config", {}).get("mode", "scalar"),
+        "kernel_backend": payload.get("config", {}).get("kernel_backend", "interp"),
         "config": {
             k: payload.get("config", {}).get(k)
             for k in (
@@ -212,6 +228,8 @@ def append_history(payload: dict, path: str | Path = HISTORY_FILE) -> Path:
                 "warmup_instructions",
                 "sim_instructions",
                 "warmup_mode",
+                "kernel",
+                "kernel_backend",
                 "repeats",
                 "batch_width",
             )
@@ -254,16 +272,19 @@ def load_history(path: str | Path = HISTORY_FILE) -> list[dict]:
 
 
 def machine_key(record: dict) -> str:
-    """Grouping key for trend rows: one machine + python + bench mode.
+    """Grouping key for trend rows: machine + python + mode + backend.
 
-    Rates are only comparable within one machine and mode; the history
-    file may interleave entries from several (laptops, CI runners), so
-    the trend table groups by this key.
+    Rates are only comparable within one machine, bench mode *and*
+    cycle-kernel backend; the history file may interleave entries from
+    several (laptops, CI runners, typed vs forced-interp runs), so the
+    trend table groups by this key.  Records predating the backend
+    field were all interpreted runs.
     """
     plat = record.get("platform", {})
     return (
         f"{plat.get('machine', '?')}/{plat.get('implementation', '?')}"
         f"-{plat.get('python', '?')}/{record.get('mode', 'scalar')}"
+        f"/{record.get('kernel_backend', 'interp')}"
     )
 
 
@@ -336,6 +357,15 @@ REGRESSION_THRESHOLD = 0.20
 """Per-workload slowdown beyond this fraction fails ``bench --baseline``."""
 
 
+def payload_kernel_backend(payload: dict) -> str:
+    """The cycle-kernel backend a BENCH payload's rates came from.
+
+    Payloads predating the field (schema <= 2 without ``kernel_backend``)
+    were all produced by the interpreted kernel.
+    """
+    return payload.get("config", {}).get("kernel_backend", "interp")
+
+
 def _headline_rate(payload: dict) -> float:
     """The payload's headline aggregate rate (geomean, schema 2).
 
@@ -367,6 +397,14 @@ def compare_bench(
     payload are listed but not compared.  Comparisons are only
     meaningful between runs on the same machine with the same windows
     and mode; the caller is trusted on that.
+
+    Cross-backend comparisons are flagged, never silent: when the two
+    payloads' cycle-kernel backends differ (``typed-compiled`` /
+    ``typed-python`` / ``interp``; see :func:`payload_kernel_backend`)
+    the deltas measure the backend change, not a code regression, so
+    ``backend_mismatch`` is set and the regression gate stands down
+    (``regressed`` stays False) -- the caller reports the mismatch
+    loudly instead of failing or passing on a meaningless ratio.
     """
 
     def _rate(payload: dict, workload: str) -> float | None:
@@ -381,6 +419,9 @@ def compare_bench(
         cur, base = _rate(current, name), _rate(baseline, name)
         deltas[name] = (cur - base) / base if cur and base else None
 
+    cur_backend = payload_kernel_backend(current)
+    base_backend = payload_kernel_backend(baseline)
+    backend_mismatch = cur_backend != base_backend
     regressed_workloads = sorted(
         name for name, d in deltas.items() if d is not None and d < -threshold
     )
@@ -391,6 +432,8 @@ def compare_bench(
         "workloads": deltas,
         "aggregate": agg_delta,
         "threshold": threshold,
+        "kernel_backend": {"current": cur_backend, "baseline": base_backend},
+        "backend_mismatch": backend_mismatch,
         "regressed_workloads": regressed_workloads,
-        "regressed": bool(regressed_workloads),
+        "regressed": bool(regressed_workloads) and not backend_mismatch,
     }

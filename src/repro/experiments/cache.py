@@ -38,9 +38,10 @@ from repro import __version__ as repro_version
 from repro.common.params import SimParams
 from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
+from repro.core.typed import kernel_backend_for_params
 from repro.trace.workloads import WorkloadSpec, workload_by_name
 
-SIM_SCHEMA_VERSION = 4
+SIM_SCHEMA_VERSION = 5
 """Bump when simulator/trace/predictor changes can alter RunResults.
 
 v2: the sweep runner defaults ``SimParams.warmup_mode`` to
@@ -55,6 +56,12 @@ the checker).
 
 v4: ``BranchPredictorParams`` grew ``btb_variant`` (the registry-driven
 build layer), changing parameter fingerprints.
+
+v5: ``SimParams`` grew ``kernel`` (the typed/interpreted cycle-kernel
+backend selection), changing parameter fingerprints; ``REPRO_KERNEL``
+is resolved before keying, so typed and forced-interp results never
+share entries (bit-identical by contract, but a forced sweep must run
+the backend it names).
 """
 
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -153,6 +160,8 @@ def build_manifest(key: str, result: RunResult, meta: dict | None = None) -> dic
         "params_fingerprint": params_fingerprint(params),
         "warmup_mode": params.warmup_mode,
         "check_invariants": params.check_invariants,
+        "kernel": params.kernel,
+        "kernel_backend": kernel_backend_for_params(params),
         "prefetcher": params.prefetcher,
         "warmup_instructions": params.warmup_instructions,
         "sim_instructions": params.sim_instructions,

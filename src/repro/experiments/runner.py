@@ -32,6 +32,8 @@ from repro.core.batch import batchable, simulate_batch
 from repro.core.build import resolve_components
 from repro.core.metrics import RunResult
 from repro.core.simulator import simulate
+from repro.core.typed import resolve_kernel_mode as _resolve_kernel_env
+from repro.core.typed import typed_eligible
 from repro.experiments.cache import CACHE_STATS, ResultCache, cache_enabled, run_key
 from repro.experiments.configs import repro_jobs
 from repro.trace.workloads import make_trace
@@ -163,6 +165,23 @@ def resolve_check_mode(params: SimParams) -> SimParams:
     return params.replace(check_invariants=True)
 
 
+def resolve_kernel_mode(params: SimParams) -> SimParams:
+    """Resolve ``kernel="auto"`` for sweep execution.
+
+    ``auto`` defers to the ``REPRO_KERNEL`` environment variable and
+    defaults to ``typed`` (:func:`repro.core.typed.resolve_kernel_mode`).
+    Like warmup-mode and check-mode resolution this happens *before*
+    cache keys are computed, so every cached result is tagged with the
+    concrete backend choice that produced it -- the two backends are
+    bit-identical by contract, but a forced ``interp`` sweep must
+    actually run the interpreted kernel.  Explicit modes pass through.
+    """
+    resolved = _resolve_kernel_env(params.kernel)
+    if resolved == params.kernel:
+        return params
+    return params.replace(kernel=resolved)
+
+
 def _resolve(params: SimParams) -> SimParams:
     """All environment overrides, in cache-key order.
 
@@ -171,7 +190,7 @@ def _resolve(params: SimParams) -> SimParams:
     submitting process instead of inside a sweep worker.
     """
     resolve_components(params)
-    return resolve_check_mode(resolve_warmup_mode(params))
+    return resolve_kernel_mode(resolve_check_mode(resolve_warmup_mode(params)))
 
 
 def run_config(workload: str, params: SimParams) -> RunResult:
@@ -419,13 +438,18 @@ def _plan_batches(
     config is :func:`~repro.core.batch.batchable`.  Groups are chunked
     to :func:`batch_width`; singletons and non-batchable configs run on
     the scalar path unchanged.
+
+    Typed-kernel-eligible points (:func:`repro.core.typed.typed_eligible`)
+    also stay scalar: lockstep batching interleaves the interpreted
+    stepping kernels, and the typed scalar path is faster than the
+    batching win, so batching them would be a de-optimisation.
     """
     if not batching_enabled():
         return [], list(pending)
     singles: list[str] = []
     groups: dict[tuple[str, int], list[str]] = {}
     for key, (workload, params) in pending.items():
-        if not batchable(params)[0]:
+        if typed_eligible(params) or not batchable(params)[0]:
             singles.append(key)
             continue
         n = params.warmup_instructions + params.sim_instructions

@@ -145,6 +145,10 @@ class TestRunnerBatching:
     def test_plan_batches_groups_by_workload_and_length(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH", "1")
         monkeypatch.setenv("REPRO_BATCH_WIDTH", "2")
+        # Pin the interpreted kernel: under "auto" the typed-eligible
+        # points below would all be kept scalar (see the next test),
+        # which is not the grouping behaviour under test here.
+        monkeypatch.setenv("REPRO_KERNEL", "interp")
         pending = {
             "a1": ("srv_web", fast()),
             "a2": ("srv_web", fast().with_frontend(ftq_entries=4)),
@@ -159,6 +163,23 @@ class TestRunnerBatching:
         # batchable.
         assert batches == [["a1", "a2"]]
         assert sorted(singles) == ["a3", "b1", "chk", "len"]
+
+    def test_plan_batches_prefers_typed_scalar(self, monkeypatch):
+        # Under the default "auto" kernel, typed-eligible points skip
+        # batching entirely: the typed scalar path is faster than the
+        # batched interpreted path.  Non-eligible points still batch.
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_BATCH_WIDTH", "2")
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        pending = {
+            "t1": ("srv_web", fast()),
+            "t2": ("srv_web", fast().with_frontend(ftq_entries=4)),
+            "p1": ("srv_web", fast(prefetcher="djolt")),
+            "p2": ("srv_web", fast(prefetcher="fnl_mma")),
+        }
+        batches, singles = _plan_batches(pending)
+        assert batches == [["p1", "p2"]]
+        assert sorted(singles) == ["t1", "t2"]
 
     def test_plan_batches_disabled(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH", "0")

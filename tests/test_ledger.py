@@ -253,7 +253,11 @@ class TestManifests:
         m = ResultCache().get_manifest(key)
         assert m is not None and m["key"] == key
 
-    def test_batched_sweep_manifest_marks_unit(self, tmp_path):
+    def test_batched_sweep_manifest_marks_unit(self, tmp_path, monkeypatch):
+        # Pin the interpreted kernel: under "auto" these typed-eligible
+        # points skip batching (the typed scalar path is preferred) and
+        # no batched manifests would be written.
+        monkeypatch.setenv("REPRO_KERNEL", "interp")
         run_points(points(), jobs=1)
         cache = ResultCache()
         batched = [m for m in cache.manifests() if m["batched"]]
