@@ -30,7 +30,11 @@ simulator under the full correctness harness:
   BTB also exposes never-taken conditionals to the direction predictor,
   so tiny windows can pay small transient penalties);
 * **parallel == serial** -- every ``parallel_every``-th trial re-runs
-  in a worker process and must be bit-identical.
+  in a worker process and must be bit-identical;
+* **sweep specs round-trip** -- a random declarative sweep spec
+  (:mod:`repro.check.sweepdiff`) expands deterministically, survives a
+  ``to_dict``/``parse_spec`` round trip, and shard-partitions with no
+  lost, duplicated or skewed points (checked first: simulation-free).
 
 Failures are minimised (greedy parameter shrinking toward defaults)
 and dumped as a JSON reproducer (:mod:`repro.check.reproducer`) so any
@@ -280,6 +284,18 @@ def _strip_telemetry(counters: dict) -> dict:
 
 def run_trial(trial: FuzzTrial, pool: ProcessPoolExecutor | None = None) -> FuzzFailure | None:
     """Run one trial under every property; None when all hold."""
+    # Property 9 (first: cheap and simulation-free): a random declarative
+    # sweep spec expands deterministically, round-trips through its dict
+    # form, and shard-partitions with no loss, overlap or skew.
+    from repro.check.sweepdiff import check_spec_expansion, random_sweep_spec
+
+    try:
+        problem = check_spec_expansion(random_sweep_spec(random.Random(trial.seed)))
+    except Exception as exc:
+        problem = f"{type(exc).__name__}: {exc}"
+    if problem is not None:
+        return FuzzFailure(trial, "sweep_spec_roundtrip", problem)
+
     try:
         program, stream = _materialize(trial)
     except Exception as exc:  # spec ranges are meant to be always-valid

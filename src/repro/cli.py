@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands::
+Eleven subcommands::
 
     python -m repro run   --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
@@ -11,6 +11,7 @@ Ten subcommands::
     python -m repro check [--fuzz N]      # correctness harness (docs/TESTING.md)
     python -m repro kernel [--dump]       # cycle-kernel backend resolution/source
     python -m repro cache info|clear      # persistent result cache
+    python -m repro sweep spec.yaml       # declarative sweep (--shard k/N, --resume)
     python -m repro sweep-report [LEDGER] # sweep progress/summary from a run ledger
 
 ``run`` simulates one (workload, configuration) pair and prints the
@@ -230,30 +231,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = sub.add_parser(
-        "sweep-report", help="render progress/summary from a sweep run ledger"
+        "sweep", help="run a declarative sweep spec (sharded, resumable; docs/SWEEPS.md)"
+    )
+    sweep.add_argument("spec", help="sweep spec file (.yaml/.yml via PyYAML, else JSON)")
+    sweep.add_argument(
+        "--shard",
+        default="1/1",
+        metavar="K/N",
+        help="run only this shard of the expansion (e.g. 2/4; default 1/1)",
     )
     sweep.add_argument(
-        "ledger",
-        nargs="?",
-        default=None,
-        help="ledger JSONL path (default: newest file in the ledger directory)",
-    )
-    sweep.add_argument(
-        "--format",
-        choices=["progress", "md", "json", "both"],
-        default="progress",
-        help="progress view (default), markdown/JSON summary, or both files",
+        "--jobs", type=int, default=None, help="parallel workers (default REPRO_JOBS)"
     )
     sweep.add_argument(
         "--out",
         default=None,
         metavar="DIR",
+        help="output directory (default: the spec's output.dir, else results/sweeps/<name>)",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expansion and this shard's points without simulating",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="report how many shard points the result cache already holds, then "
+        "run only the remainder (any sweep is implicitly resumable; this "
+        "flag adds the pre-scan and tags the ledger)",
+    )
+    sweep.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge existing per-shard manifests into the final table instead "
+        "of running anything",
+    )
+    sweep.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after the shard's first N points and skip the shard "
+        "manifest (testing aid: models a sweep killed mid-flight)",
+    )
+
+    sweep_report = sub.add_parser(
+        "sweep-report", help="render progress/summary from a sweep run ledger"
+    )
+    sweep_report.add_argument(
+        "ledger",
+        nargs="?",
+        default=None,
+        help="ledger JSONL path (default: newest file in the ledger directory)",
+    )
+    sweep_report.add_argument(
+        "--format",
+        choices=["progress", "md", "json", "both"],
+        default="progress",
+        help="progress view (default), markdown/JSON summary, or both files",
+    )
+    sweep_report.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
         help="write md/json summaries into DIR instead of printing",
     )
-    sweep.add_argument(
+    sweep_report.add_argument(
         "--top", type=int, default=10, metavar="N", help="slowest work units to list"
     )
-    sweep.add_argument(
+    sweep_report.add_argument(
         "--follow",
         action="store_true",
         help="poll the ledger and redraw the progress view until the sweep ends",
@@ -310,6 +357,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="catalogue mode only: check the lockstep batch path "
         "(differential + batched-vs-scalar bit-identity) instead of the "
         "scalar + invariant path",
+    )
+    check.add_argument(
+        "--sweep",
+        metavar="SPEC",
+        default=None,
+        help="differential sweep-equivalence harness: run SPEC serially, in "
+        "parallel, sharded 2- and 3-way, and interrupted-then-resumed; all "
+        "five merged tables must be bit-identical with every point run at "
+        "most once (docs/SWEEPS.md)",
     )
 
     kernel = sub.add_parser(
@@ -699,11 +755,41 @@ def _bench_compare(payload: dict, baseline_path: str) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     """Run the correctness harness; exit 0 clean, 1 on any violation."""
+    if args.sweep is not None:
+        return _check_sweep(args.sweep)
     if args.replay is not None:
         return _check_replay(args.replay)
     if args.fuzz is not None:
         return _check_fuzz(args)
     return _check_catalogue(args)
+
+
+def _check_sweep(spec_path: str) -> int:
+    """Differential sweep-equivalence harness on one spec file."""
+    from repro.check.sweepdiff import check_sweep_equivalence
+    from repro.experiments.spec import SweepSpecError, expand, load_spec
+
+    try:
+        spec = load_spec(spec_path)
+        expand(spec)  # malformed specs exit 2 before any strategy runs
+    except (OSError, SweepSpecError) as exc:
+        log.error("%s", exc)
+        return 2
+    print(f"sweep-equivalence: {spec.name} ({spec_path})")
+    report = check_sweep_equivalence(spec, log=print)
+    for strategy in report.strategies:
+        status = "ok" if not strategy.problems else "FAIL"
+        print(f"  {strategy.name:10s} {status}")
+    if report.ok:
+        print(
+            f"sweep-equivalence: {report.n_points} point(s) bit-identical "
+            f"across {len(report.strategies)} strategies, no point run twice"
+        )
+        return 0
+    for problem in report.all_problems():
+        print(f"  {problem}")
+    log.error("sweep-equivalence FAILED for %s", spec.name)
+    return 1
 
 
 def _check_catalogue(args: argparse.Namespace) -> int:
@@ -849,6 +935,75 @@ def cmd_profile(args: argparse.Namespace) -> int:
         }
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run (or merge) one shard of a declarative sweep spec."""
+    from repro.experiments.spec import (
+        SweepSpecError,
+        expand,
+        load_spec,
+        parse_shard,
+        shard_points,
+    )
+    from repro.experiments.sweep import default_sweep_dir, merge_sweep, run_sweep
+
+    try:
+        spec = load_spec(args.spec)
+        shard = parse_shard(args.shard)
+        points = expand(spec)
+    except (OSError, SweepSpecError) as exc:
+        log.error("%s", exc)
+        return 2
+    out_dir = Path(args.out) if args.out else default_sweep_dir(spec)
+    k, total = shard
+
+    if args.merge:
+        try:
+            written = merge_sweep(spec, points, out_dir)
+        except SweepSpecError as exc:
+            log.error("%s", exc)
+            return 1
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    if args.dry_run:
+        owned = shard_points(points, k, total)
+        print(
+            f"sweep {spec.name}: {len(points)} point(s) "
+            f"({len(spec.workloads)} workload(s) x "
+            f"{len(points) // max(1, len(spec.workloads))} config(s)); "
+            f"shard {k}/{total} owns {len(owned)}"
+        )
+        for point in owned:
+            print(f"  {point.point_id[:16]}  {point.workload:14s} {point.label}")
+        return 0
+
+    outcome = run_sweep(
+        spec,
+        points,
+        shard=shard,
+        jobs=args.jobs,
+        out_dir=out_dir,
+        resume=args.resume,
+        limit=args.limit,
+    )
+    print(
+        f"sweep {spec.name} shard {k}/{total}: {outcome.points_shard} of "
+        f"{outcome.points_total} point(s), {outcome.executed} simulated, "
+        f"{outcome.cache_hits} from cache"
+    )
+    if outcome.interrupted:
+        print("interrupted before the shard completed; re-run with --resume")
+        return 1
+    if outcome.shard_file is not None:
+        print(f"wrote {outcome.shard_file}")
+    for path in outcome.merged_files:
+        print(f"wrote {path}")
+    if not outcome.merged_files and total > 1:
+        print("merge deferred: run the sibling shards, then repro sweep ... --merge")
     return 0
 
 
@@ -1016,6 +1171,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": cmd_check,
         "cache": cmd_cache,
         "kernel": cmd_kernel,
+        "sweep": cmd_sweep,
         "sweep-report": cmd_sweep_report,
     }
     return handlers[args.command](args)

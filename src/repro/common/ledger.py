@@ -96,9 +96,14 @@ class SweepLedger:
         path: Path | str | None = None,
         sweep_id: str | None = None,
         clock=time.time,
+        context: dict | None = None,
     ) -> None:
         self.sweep_id = sweep_id or new_sweep_id(clock)
         self.clock = clock
+        #: Caller-supplied fields stamped into every event (the sweep
+        #: scheduler passes the spec name and shard k/N here, so a
+        #: multi-shard sweep's ledgers can be reconciled file by file).
+        self.context = dict(context or {})
         self.path = Path(path) if path is not None else (
             default_ledger_dir() / f"{self.sweep_id}.jsonl"
         )
@@ -122,6 +127,7 @@ class SweepLedger:
             "event": event,
             "ts": fields.pop("ts", None) or self.clock(),
         }
+        record.update(self.context)
         record.update(fields)
         try:
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -195,15 +201,16 @@ class SweepLedger:
                 self._fh = None
 
 
-def open_ledger() -> SweepLedger | None:
+def open_ledger(context: dict | None = None) -> SweepLedger | None:
     """Environment-gated ledger factory the sweep runner calls.
 
     Returns ``None`` when ``REPRO_LEDGER`` is off so the runner's fast
-    path stays branch-only.
+    path stays branch-only.  ``context`` fields (e.g. the sweep
+    scheduler's spec name and shard k/N) are stamped into every event.
     """
     if not ledger_enabled():
         return None
-    return SweepLedger()
+    return SweepLedger(context=context)
 
 
 # ----------------------------------------------------------------------

@@ -207,6 +207,14 @@ class ResultCache:
     def _manifest_path(self, key: str) -> Path:
         return self.directory / f"{key}.manifest.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk, without loading it.
+
+        A cheap pre-scan probe (the sweep scheduler's ``--resume``
+        reporting); the entry may still turn out stale on ``get``.
+        """
+        return self._path(key).is_file()
+
     def get(self, key: str) -> RunResult | None:
         """Load a cached result; None on miss or stale/corrupt entry."""
         path = self._path(key)

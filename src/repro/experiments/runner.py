@@ -249,6 +249,7 @@ def _manifest_meta(meta: dict, unit_size: int) -> dict:
 def run_points(
     points: Iterable[tuple[str, SimParams]],
     jobs: int | None = None,
+    ledger_context: dict | None = None,
 ) -> dict[str, RunResult]:
     """Resolve many (workload, params) points, in parallel when allowed.
 
@@ -267,7 +268,7 @@ def run_points(
     """
     jobs = repro_jobs() if jobs is None else max(1, jobs)
     disk = _disk()
-    ledger = open_ledger()
+    ledger = open_ledger(context=ledger_context)
     if ledger is not None:
         ledger.begin(jobs=jobs, batching=batching_enabled(), batch_width=batch_width())
 
