@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden ChampSim fixture.
+
+The fixture (``tests/data/golden.champsim.xz``) is a small real
+ChampSim-format trace built by encoding a deterministic synthetic
+oracle stream through :func:`repro.trace.champsim.write_champsim_trace`.
+It backs ``tests/test_champsim.py`` and the CI ingestion smoke; keep it
+under 100KB.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_golden_trace.py [OUT]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.trace.cfg import generate_program
+from repro.trace.champsim import write_champsim_trace
+from repro.trace.oracle import run_oracle
+from repro.trace.workloads import default_workloads
+
+#: The stream encoded into the fixture: enough for a 20K-instruction
+#: window plus TRACE_SLACK run-ahead margin on both decode paths.
+GOLDEN_WORKLOAD = "spc_fp"
+GOLDEN_INSTRUCTIONS = 30_000
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "tests" / "data" / "golden.champsim.xz"
+
+
+def main(argv: list[str]) -> int:
+    out = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUT
+    wl = next(w for w in default_workloads() if w.name == GOLDEN_WORKLOAD)
+    program = generate_program(wl.program_spec, wl.program_seed)
+    stream = run_oracle(program, GOLDEN_INSTRUCTIONS, wl.oracle_seed)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_champsim_trace(out, stream)
+    size = out.stat().st_size
+    print(f"wrote {out} ({size:,} bytes, {stream.total_instructions} instructions)")
+    if size >= 100_000:
+        print("ERROR: fixture exceeds the 100KB budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -18,9 +18,11 @@ stream and asserts:
   pure function of the committed stream) its architectural history
   equal an independent replay of the oracle stream.
 
-The expected stream is *regenerated* from the (program, seed) pair
-rather than shared with the simulator, so in-place corruption of the
-cached stream cannot hide a divergence.
+The expected stream is *independently derived* (regenerated from the
+(program, seed) pair for synthetic workloads; re-decoded bypassing the
+chunk-artifact cache for trace-backed ones) rather than shared with the
+simulator, so in-place corruption of the cached stream cannot hide a
+divergence.
 """
 
 from __future__ import annotations
@@ -34,8 +36,8 @@ from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
 from repro.core.simulator import Simulator
 from repro.trace.cfg import Program
-from repro.trace.oracle import OracleStream, run_oracle
-from repro.trace.workloads import TRACE_SLACK, make_trace, workload_by_name
+from repro.trace.oracle import OracleStream
+from repro.trace.workloads import make_trace, workload_by_name
 
 
 class DifferentialDivergence(AssertionError):
@@ -218,12 +220,17 @@ def run_differential(
 
 
 def check_workload(name: str, params: SimParams) -> DifferentialReport:
-    """Differential + invariant check of one catalogue workload."""
+    """Differential + invariant check of one workload (any source).
+
+    The expected stream comes from the source's own independent
+    derivation (:meth:`~repro.trace.source.WorkloadSource.expected_stream`):
+    a fresh seeded regeneration for synthetic workloads, a fresh
+    cache-bypassing decode for trace-backed ones.
+    """
     params = params.replace(check_invariants=True)
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(name, n)
-    wl = workload_by_name(name)
-    expected = run_oracle(program, n + TRACE_SLACK, wl.oracle_seed)
+    expected = workload_by_name(name).expected_stream(n)
     _result, report = run_differential(params, program, stream, expected, workload_name=name)
     return report
 
@@ -250,8 +257,7 @@ def check_workload_batched(
         raise ValueError(f"config {params.label()!r} is not batchable: {reason}")
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(name, n)
-    wl = workload_by_name(name)
-    expected = run_oracle(program, n + TRACE_SLACK, wl.oracle_seed)
+    expected = workload_by_name(name).expected_stream(n)
     flat = flatten_branches(expected)
 
     sims = [Simulator(params, program, stream) for _ in range(max(2, width))]

@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Eleven subcommands::
+Twelve subcommands::
 
     python -m repro run   --workload srv_web --ftq 24 --btb 8192 ...
     python -m repro list                  # workloads and prefetchers
+    python -m repro workload info NAME    # one workload: footprint, branch mix, provenance
     python -m repro report fig7 fig14     # regenerate paper experiments
     python -m repro bench [--trend]       # cycle-loop throughput -> BENCH_core.json
     python -m repro trace --workload ...  # telemetry run -> JSONL + report
@@ -26,6 +27,10 @@ persistent result cache (``REPRO_CACHE_DIR``) and the run ledger
 (``REPRO_LEDGER``, read back with ``sweep-report``); see
 docs/PERFORMANCE.md.  The global ``--log-level`` flag (or the
 ``REPRO_LOG`` environment variable) controls diagnostic logging.
+
+Every ``--workload``/``--workloads`` flag accepts catalogue names,
+registered trace sources (``REPRO_TRACES``) and ChampSim trace file
+paths interchangeably (see docs/TRACES.md).
 """
 
 from __future__ import annotations
@@ -112,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--list-workloads",
         action="store_true",
-        help="print the catalogue workload names (one per line) and exit",
+        help="print the known workloads (name, source, category; one per "
+        "line) and exit",
     )
     run.add_argument(
         "--list-prefetchers",
@@ -133,6 +139,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list workloads and prefetchers")
+
+    workload = sub.add_parser(
+        "workload", help="inspect one workload: footprint, branch mix, provenance"
+    )
+    workload.add_argument("action", choices=["info"])
+    workload.add_argument(
+        "name", help="catalogue name, registered trace name, or trace file path"
+    )
+    workload.add_argument(
+        "--instructions",
+        type=int,
+        default=20_000,
+        help="committed-instruction window for the footprint/branch-mix "
+        "measurement (default 20000)",
+    )
 
     trace = sub.add_parser(
         "trace", help="simulate with full telemetry; write JSONL + trace report"
@@ -157,7 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workloads",
         default="quick",
-        help="'quick' (default), 'all', or comma-separated catalogue names",
+        help="'quick' (default), 'all', or comma-separated workload names "
+        "or trace file paths",
     )
     bench.add_argument("--warmup", type=int, default=None, help="warmup instructions")
     bench.add_argument("--instructions", type=int, default=None, help="measured instructions")
@@ -320,8 +342,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--workloads",
         default="quick",
-        help="'quick' (default), 'all', or comma-separated catalogue names "
-        "(catalogue mode only)",
+        help="'quick' (default), 'all', or comma-separated workload names "
+        "or trace file paths (catalogue mode only)",
     )
     check.add_argument("--warmup", type=int, default=5_000, help="warmup instructions")
     check.add_argument(
@@ -433,14 +455,38 @@ def _params_from_args(args: argparse.Namespace) -> SimParams:
     return params
 
 
+def _resolve_workload_names(raw: str) -> list[str] | None:
+    """Resolve a comma-separated ``--workloads`` value to registry names.
+
+    Entries may be catalogue names, registered trace names or trace
+    file paths (auto-registered).  Logs and returns ``None`` when any
+    entry is unknown, so callers can exit 2.
+    """
+    from repro.trace.source import resolve_workload
+
+    names: list[str] = []
+    unknown: list[str] = []
+    for entry in [n.strip() for n in raw.split(",") if n.strip()]:
+        try:
+            names.append(resolve_workload(entry).name)
+        except KeyError:
+            unknown.append(entry)
+    if unknown:
+        log.error("unknown workloads: %s", ", ".join(unknown))
+        return None
+    return names
+
+
 def _run_list_flags(args: argparse.Namespace) -> int | None:
     """Handle ``repro run --list-*`` discovery flags (one name per line).
 
     Returns an exit code when a list flag was given, ``None`` otherwise.
     """
     if getattr(args, "list_workloads", False):
-        for wl in default_workloads():
-            print(wl.name)
+        from repro.trace.source import registered_workloads
+
+        for wl in [*default_workloads(), *registered_workloads()]:
+            print(f"{wl.name:14s} {wl.source_kind:10s} {wl.category}")
         return 0
     if getattr(args, "list_prefetchers", False):
         for name in ["none", "perfect", *prefetcher_names()]:
@@ -570,11 +616,69 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_list(_args: argparse.Namespace) -> int:
     """List workloads, prefetchers and experiments."""
+    from repro.trace.source import registered_workloads
+
     print("workloads:")
-    for wl in default_workloads():
-        print(f"  {wl.name:14s} ({wl.category})")
+    for wl in [*default_workloads(), *registered_workloads()]:
+        print(f"  {wl.name:14s} {wl.source_kind:10s} ({wl.category})")
     print("prefetchers: none perfect " + " ".join(prefetcher_names()))
     print("experiments: " + " ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """The ``repro workload info NAME`` detail view.
+
+    Resolves the workload (catalogue name, registered trace, or trace
+    file path), prints its source provenance, then materialises a
+    window and measures static footprint and dynamic branch mix from
+    the committed stream.
+    """
+    from repro.isa.instructions import BranchKind
+    from repro.trace.source import resolve_workload
+    from repro.trace.workloads import make_trace
+
+    try:
+        source = resolve_workload(args.name)
+    except KeyError as exc:
+        log.error("%s", exc.args[0])
+        return 2
+    print(f"workload: {source.name}")
+    print(f"category: {source.category}")
+    print(f"source:   {source.source_kind}")
+    _program, stream = make_trace(source, args.instructions)
+    for key, value in sorted(source.info().items()):
+        print(f"  {key} = {value}")
+
+    addrs: set[int] = set()
+    kind_counts: dict[BranchKind, int] = {}
+    taken_counts: dict[BranchKind, int] = {}
+    for seg in stream.segments:
+        addrs.update(range(seg.start, seg.limit, 4))
+        for _addr, kind, taken, _target in seg.branches:
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            if taken:
+                taken_counts[kind] = taken_counts.get(kind, 0) + 1
+    lines = {addr >> 6 for addr in addrs}
+    total = stream.total_instructions
+    print(f"window:   {total} committed instructions (requested {args.instructions} + slack)")
+    print(
+        f"footprint: {len(addrs)} static instructions "
+        f"({4 * len(addrs) / 1024:.1f} KiB), {len(lines)} x 64B lines "
+        f"({64 * len(lines) / 1024:.1f} KiB)"
+    )
+    print(
+        f"branches: {stream.total_branches} "
+        f"({stream.total_taken} taken, "
+        f"{stream.taken_per_kilo:.1f} taken/kilo-instruction)"
+    )
+    for kind in sorted(kind_counts, key=lambda k: k.value):
+        count = kind_counts[kind]
+        share = 100.0 * count / max(1, stream.total_branches)
+        print(
+            f"  {kind.name:14s} {count:8d} ({share:5.1f}%, "
+            f"{taken_counts.get(kind, 0)} taken)"
+        )
     return 0
 
 
@@ -610,11 +714,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     elif args.workloads == "all":
         workloads = [w.name for w in default_workloads()]
     else:
-        workloads = [n.strip() for n in args.workloads.split(",") if n.strip()]
-        known = {w.name for w in default_workloads()}
-        unknown = [n for n in workloads if n not in known]
-        if unknown:
-            log.error("unknown workloads: %s", ", ".join(unknown))
+        workloads = _resolve_workload_names(args.workloads)
+        if workloads is None:
             return 2
     params = default_params()
     if args.warmup is not None:
@@ -813,11 +914,8 @@ def _check_catalogue(args: argparse.Namespace) -> int:
     elif args.workloads == "all":
         names = [w.name for w in default_workloads()]
     else:
-        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
-        known = {w.name for w in default_workloads()}
-        unknown = [n for n in names if n not in known]
-        if unknown:
-            log.error("unknown workloads: %s", ", ".join(unknown))
+        names = _resolve_workload_names(args.workloads)
+        if names is None:
             return 2
     params = default_params().replace(
         warmup_instructions=args.warmup, sim_instructions=args.instructions
@@ -1103,6 +1201,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"schema:    v{info['schema']}")
     print(f"entries:   {info['entries']} ({info['total_bytes']:,} bytes, "
           f"{info['manifests']} manifest(s))")
+    if info["trace_files"]:
+        print(f"traces:    {info['trace_files']} decode artifact(s) "
+              f"({info['trace_bytes']:,} bytes)")
     session = cache_stats().as_dict()
     if session:
         print(f"this session (hit rate {100.0 * info['session_hit_rate']:.0f}%):")
@@ -1164,6 +1265,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": cmd_run,
         "list": cmd_list,
+        "workload": cmd_workload,
         "trace": cmd_trace,
         "report": cmd_report,
         "bench": cmd_bench,

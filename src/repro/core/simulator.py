@@ -31,6 +31,7 @@ from repro.core.typed import backend_name, resolve_kernel_mode, supported, typed
 from repro.core.warmup import functional_warmup
 from repro.trace.cfg import Program
 from repro.trace.oracle import OracleStream
+from repro.trace.source import resolve_workload
 from repro.trace.workloads import WorkloadSpec, make_trace
 
 _CYCLE_GUARD_FACTOR = 400
@@ -320,5 +321,13 @@ def simulate(
     n = params.warmup_instructions + params.sim_instructions
     program, stream = make_trace(workload, n)
     sim = Simulator(params, program, stream, telemetry=telemetry, profiler=profiler)
-    name = workload if isinstance(workload, str) else workload.name
+    if isinstance(workload, str):
+        # Record the canonical registry name, not the argument spelling
+        # (a trace file path resolves to its registered source name).
+        try:
+            name = resolve_workload(workload).name
+        except KeyError:
+            name = workload
+    else:
+        name = workload.name
     return sim.run(workload_name=name)

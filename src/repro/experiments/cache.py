@@ -30,6 +30,7 @@ import json
 import os
 import pickle
 import platform as platform_mod
+import shutil
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
@@ -39,9 +40,10 @@ from repro.common.params import SimParams
 from repro.common.stats import StatSet
 from repro.core.metrics import RunResult
 from repro.core.typed import kernel_backend_for_params
-from repro.trace.workloads import WorkloadSpec, workload_by_name
+from repro.trace.source import WorkloadSource, resolve_workload
+from repro.trace.workloads import WorkloadSpec
 
-SIM_SCHEMA_VERSION = 5
+SIM_SCHEMA_VERSION = 6
 """Bump when simulator/trace/predictor changes can alter RunResults.
 
 v2: the sweep runner defaults ``SimParams.warmup_mode`` to
@@ -62,6 +64,11 @@ backend selection), changing parameter fingerprints; ``REPRO_KERNEL``
 is resolved before keying, so typed and forced-interp results never
 share entries (bit-identical by contract, but a forced sweep must run
 the backend it names).
+
+v6: the workload-source layer -- workload fingerprints now derive from
+each source's ``fingerprint_data()`` (synthetic: spec + seeds;
+ChampSim traces: file content digest + decoder version), changing
+every workload fingerprint at once.
 """
 
 _ENV_DIR = "REPRO_CACHE_DIR"
@@ -114,27 +121,62 @@ def params_fingerprint(params: SimParams) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-@lru_cache(maxsize=256)
-def workload_fingerprint(workload: WorkloadSpec | str) -> str:
-    """Stable content hash of a workload (catalogue name or explicit spec)."""
-    spec = workload_by_name(workload) if isinstance(workload, str) else workload
-    blob = json.dumps(_canonical(spec), sort_keys=True, separators=(",", ":"))
+def _workload_fingerprint_of(source: WorkloadSource | WorkloadSpec) -> str:
+    """Hash a resolved source via its ``fingerprint_data()`` identity."""
+    if hasattr(source, "fingerprint_data"):
+        data = source.fingerprint_data()
+    else:
+        data = _canonical(source)
+    blob = json.dumps(_canonical(data), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-@lru_cache(maxsize=8192)
-def run_key(workload: WorkloadSpec | str, params: SimParams) -> str:
-    """Content-addressed key of one (workload, configuration) simulation."""
+@lru_cache(maxsize=256)
+def _workload_fingerprint_by_name(name: str) -> str:
+    return _workload_fingerprint_of(resolve_workload(name))
+
+
+def workload_fingerprint(workload: WorkloadSource | WorkloadSpec | str) -> str:
+    """Stable content hash of a workload (name, spec, or source object).
+
+    Names go through a name-keyed memo (cleared on registry changes);
+    source objects -- which may be unhashable, e.g. a ``ChampSimTrace``
+    -- are fingerprinted directly.
+    """
+    if isinstance(workload, str):
+        return _workload_fingerprint_by_name(workload)
+    return _workload_fingerprint_of(workload)
+
+
+workload_fingerprint.cache_clear = _workload_fingerprint_by_name.cache_clear  # type: ignore[attr-defined]
+
+
+def _run_key_blob(workload_fp: str, params: SimParams) -> str:
     blob = json.dumps(
         {
             "schema": SIM_SCHEMA_VERSION,
-            "workload": workload_fingerprint(workload),
+            "workload": workload_fp,
             "params": params_fingerprint(params),
         },
         sort_keys=True,
         separators=(",", ":"),
     )
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@lru_cache(maxsize=8192)
+def _run_key_by_name(name: str, params: SimParams) -> str:
+    return _run_key_blob(_workload_fingerprint_by_name(name), params)
+
+
+def run_key(workload: WorkloadSource | WorkloadSpec | str, params: SimParams) -> str:
+    """Content-addressed key of one (workload, configuration) simulation."""
+    if isinstance(workload, str):
+        return _run_key_by_name(workload, params)
+    return _run_key_blob(_workload_fingerprint_of(workload), params)
+
+
+run_key.cache_clear = _run_key_by_name.cache_clear  # type: ignore[attr-defined]
 
 
 MANIFEST_SCHEMA_VERSION = 1
@@ -151,11 +193,25 @@ def build_manifest(key: str, result: RunResult, meta: dict | None = None) -> dic
     supplied by the runner through ``meta``).
     """
     params = result.params
+    try:
+        source = resolve_workload(result.workload)
+        workload_source = source.source_kind
+        workload_category = source.category
+        workload_fp = _workload_fingerprint_of(source)
+    except KeyError:
+        # A source object that was never registered under its name;
+        # the manifest still records the run, just without provenance.
+        workload_source = "unknown"
+        workload_category = "unknown"
+        workload_fp = None
     manifest = {
         "manifest_schema": MANIFEST_SCHEMA_VERSION,
         "schema": SIM_SCHEMA_VERSION,
         "key": key,
         "workload": result.workload,
+        "workload_source": workload_source,
+        "workload_category": workload_category,
+        "workload_fingerprint": workload_fp,
         "label": result.label,
         "params_fingerprint": params_fingerprint(params),
         "warmup_mode": params.warmup_mode,
@@ -304,11 +360,17 @@ class ResultCache:
         out.sort(key=lambda m: m.get("created_utc", ""), reverse=True)
         return out
 
+    def _traces_dir(self) -> Path:
+        """The trace chunk-artifact store (``traces/<digest>/``), written
+        by :mod:`repro.trace.champsim` under the same cache root."""
+        return self.directory / "traces"
+
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed.
 
-        Manifests and stray temp files are removed too (they are
-        derived data and do not count toward ``removed``).
+        Manifests, stray temp files and the ``traces/`` decode-artifact
+        store are removed too (all derived data; none count toward
+        ``removed``).
         """
         removed = 0
         if not self.directory.is_dir():
@@ -320,6 +382,7 @@ class ResultCache:
             path.unlink(missing_ok=True)
         for path in self.directory.glob("*.tmp.*"):
             path.unlink(missing_ok=True)
+        shutil.rmtree(self._traces_dir(), ignore_errors=True)
         return removed
 
     def info(self) -> dict:
@@ -327,6 +390,8 @@ class ResultCache:
         entries = 0
         total_bytes = 0
         manifests = 0
+        trace_files = 0
+        trace_bytes = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.pkl"):
                 try:
@@ -335,6 +400,16 @@ class ResultCache:
                     continue
                 entries += 1
             manifests = sum(1 for _ in self.directory.glob("*.manifest.json"))
+        traces_dir = self._traces_dir()
+        if traces_dir.is_dir():
+            for path in traces_dir.rglob("*"):
+                try:
+                    if not path.is_file():
+                        continue
+                    trace_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                trace_files += 1
         session = self.stats.as_dict()
         hits = session.get("cache_disk_hit", 0) + session.get("cache_memo_hit", 0)
         lookups = hits + session.get("cache_disk_miss", 0)
@@ -344,6 +419,8 @@ class ResultCache:
             "entries": entries,
             "manifests": manifests,
             "total_bytes": total_bytes,
+            "trace_files": trace_files,
+            "trace_bytes": trace_bytes,
             "session": session,
             "session_hit_rate": (hits / lookups) if lookups else 0.0,
         }

@@ -10,7 +10,10 @@ and adjustable through environment variables:
 * ``REPRO_SIM``        -- measured instructions (default 60000)
 * ``REPRO_WORKLOADS``  -- ``all`` (default), ``quick`` (a 4-workload
   subset covering all three categories), or a comma-separated list of
-  catalogue names.
+  catalogue names, registered trace names, or trace file paths.
+* ``REPRO_TRACES``     -- ``os.pathsep``-separated ChampSim trace files
+  (or directories of them) registered as workload sources at first
+  lookup (see :mod:`repro.trace.source` and docs/TRACES.md).
 * ``REPRO_JOBS``       -- worker processes for sweep execution
   (default: ``os.cpu_count()``; ``1`` forces the serial in-process
   path).
@@ -77,15 +80,27 @@ def baseline_params() -> SimParams:
 
 
 def evaluation_workloads() -> list[str]:
-    """Workload names selected by ``REPRO_WORKLOADS``."""
+    """Workload names selected by ``REPRO_WORKLOADS``.
+
+    Explicit names may be catalogue entries, registered trace sources
+    (e.g. discovered through ``REPRO_TRACES``), or trace file paths
+    (auto-registered under their canonical names).
+    """
+    from repro.trace.source import resolve_workload
+
     raw = os.environ.get("REPRO_WORKLOADS", "all").strip()
     if raw == "all":
         return [w.name for w in default_workloads()]
     if raw == "quick":
         return list(QUICK_WORKLOADS)
-    names = [n.strip() for n in raw.split(",") if n.strip()]
-    known = {w.name for w in default_workloads()}
-    unknown = [n for n in names if n not in known]
+    entries = [n.strip() for n in raw.split(",") if n.strip()]
+    names = []
+    unknown = []
+    for entry in entries:
+        try:
+            names.append(resolve_workload(entry).name)
+        except KeyError:
+            unknown.append(entry)
     if unknown:
         raise ValueError(f"unknown workloads in REPRO_WORKLOADS: {unknown}")
     if not names:

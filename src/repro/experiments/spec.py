@@ -6,7 +6,9 @@ small declarative file (benchalot-style YAML or JSON) instead of a
 hand-coded figure script::
 
     sweep: btb-pfc
-    workloads: [srv_web, srv_db]          # or "quick" / "all"
+    workloads: [srv_web, srv_db]          # or "quick" / "all"; entries may
+                                          # also be trace-file paths or
+                                          # {name: web1, trace: w.champsim.xz}
     base:                                 # applied to default_params()
       warmup_instructions: 3000
       sim_instructions: 8000
@@ -45,7 +47,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
 
@@ -58,6 +61,12 @@ from repro.common.params import SimParams
 from repro.experiments.cache import run_key
 from repro.experiments.configs import QUICK_WORKLOADS, default_params
 from repro.experiments.runner import _resolve
+from repro.trace.source import (
+    looks_like_trace_path,
+    register_workload,
+    resolve_workload,
+    trace_name_for_path,
+)
 from repro.trace.workloads import default_workloads
 
 SWEEP_SPEC_VERSION = 1
@@ -154,6 +163,9 @@ class SweepSpec:
     include: tuple[tuple[tuple[str, object], ...], ...]
     metrics: tuple[str, ...]
     out_dir: str | None = None
+    #: Trace-backed workload entries as (registered name, file path);
+    #: names in ``workloads`` appearing here came from trace files.
+    traces: tuple[tuple[str, str], ...] = field(default=())
 
     @property
     def axes(self) -> tuple[str, ...]:
@@ -161,9 +173,13 @@ class SweepSpec:
 
     def to_dict(self) -> dict:
         """Canonical JSON-able form; ``parse_spec`` round-trips it."""
+        trace_map = dict(self.traces)
         payload: dict = {
             "sweep": self.name,
-            "workloads": list(self.workloads),
+            "workloads": [
+                {"name": n, "trace": trace_map[n]} if n in trace_map else n
+                for n in self.workloads
+            ],
             "matrix": {key: list(values) for key, values in self.matrix},
         }
         if self.base:
@@ -184,22 +200,78 @@ class SweepSpec:
         return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def _resolve_workloads(raw) -> tuple[str, ...]:
+def _register_trace_entry(path: str, name: str | None) -> str:
+    """Register one trace-file workload entry; returns its name."""
+    from repro.trace.champsim import ChampSimTrace
+
+    if not os.path.isfile(path):
+        raise SweepSpecError(f"trace file {path!r} does not exist")
+    try:
+        source = register_workload(
+            ChampSimTrace(path, name=name or trace_name_for_path(path))
+        )
+    except ValueError as exc:
+        raise SweepSpecError(str(exc)) from exc
+    return source.name
+
+
+def _resolve_workloads(raw) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]]:
+    """Resolve the ``workloads:`` section into (names, trace entries).
+
+    Entries may be catalogue/registered names, ``"quick"``/``"all"``
+    shorthands, paths to trace files, or mappings
+    ``{name: ..., trace: path}`` binding a trace file to an explicit
+    registry name.  Trace entries are registered here so expansion's
+    cache keys can resolve them.
+    """
     if raw in (None, "all"):
-        return tuple(w.name for w in default_workloads())
+        return tuple(w.name for w in default_workloads()), ()
     if raw == "quick":
-        return tuple(QUICK_WORKLOADS)
+        return tuple(QUICK_WORKLOADS), ()
     if isinstance(raw, str):
         raw = [n.strip() for n in raw.split(",") if n.strip()]
     if not isinstance(raw, list) or not raw:
         raise SweepSpecError("'workloads' must be 'quick', 'all' or a non-empty list")
-    known = {w.name for w in default_workloads()}
-    unknown = [n for n in raw if n not in known]
+    names: list[str] = []
+    traces: list[tuple[str, str]] = []
+    unknown: list[str] = []
+    for entry in raw:
+        if isinstance(entry, dict):
+            bad = [k for k in entry if k not in ("name", "trace")]
+            if bad:
+                raise SweepSpecError(
+                    f"unknown workload-entry key(s): {', '.join(bad)} "
+                    f"(a mapping entry takes 'trace' and optional 'name')"
+                )
+            path = entry.get("trace")
+            if not isinstance(path, str) or not path:
+                raise SweepSpecError(
+                    "a workload mapping entry needs a 'trace' file path"
+                )
+            name = _register_trace_entry(path, entry.get("name"))
+            names.append(name)
+            traces.append((name, path))
+            continue
+        if not isinstance(entry, str):
+            raise SweepSpecError(
+                f"workload entries must be names or trace mappings, got {entry!r}"
+            )
+        if looks_like_trace_path(entry):
+            name = _register_trace_entry(entry, None)
+            names.append(name)
+            traces.append((name, entry))
+            continue
+        try:
+            resolve_workload(entry)
+        except KeyError:
+            unknown.append(entry)
+            continue
+        names.append(entry)
     if unknown:
         raise SweepSpecError(f"unknown workloads: {', '.join(map(str, unknown))}")
-    if len(set(raw)) != len(raw):
+    if len(set(names)) != len(names):
         raise SweepSpecError("duplicate workload names in 'workloads'")
-    return tuple(raw)
+    return tuple(names), tuple(traces)
 
 
 def _parse_rule(rule, axes: tuple[str, ...], kind: str, complete: bool):
@@ -282,15 +354,17 @@ def parse_spec(data: dict, name_hint: str = "sweep") -> SweepSpec:
     if out_dir is not None and not isinstance(out_dir, str):
         raise SweepSpecError("'output.dir' must be a string path")
 
+    workloads, traces = _resolve_workloads(data.get("workloads"))
     return SweepSpec(
         name=name,
-        workloads=_resolve_workloads(data.get("workloads")),
+        workloads=workloads,
         base=tuple(base.items()),
         matrix=tuple(matrix),
         exclude=exclude,
         include=include,
         metrics=tuple(metrics),
         out_dir=out_dir,
+        traces=traces,
     )
 
 

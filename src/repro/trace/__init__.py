@@ -1,4 +1,4 @@
-"""Synthetic workload substrate.
+"""Workload substrate: synthetic programs and external trace sources.
 
 The paper evaluates on the IPC-1 trace set (server/client/SPEC, 50M
 instructions each).  Those traces are not redistributable here, so this
@@ -6,6 +6,12 @@ package builds the closest synthetic equivalent: control-flow-graph
 programs with parameterised instruction footprint, call depth, branch
 bias and loop structure, executed by a deterministic oracle interpreter
 into the committed instruction stream (see DESIGN.md, Section 2).
+
+Since the workload-source refactor the synthetic catalogue is just the
+first implementation of the :class:`~repro.trace.source.WorkloadSource`
+protocol; :mod:`repro.trace.champsim` ingests real ChampSim-format
+trace files through the same interface (see docs/TRACES.md), and
+external sources register through :mod:`repro.trace.source`.
 """
 
 from repro.trace.behaviors import (
@@ -17,6 +23,16 @@ from repro.trace.behaviors import (
 from repro.trace.cfg import Program, ProgramSpec, generate_program
 from repro.trace.oracle import OracleStream, Segment, run_oracle
 from repro.trace.reader import load_trace, save_trace
+from repro.trace.source import (
+    TRACE_SLACK,
+    WorkloadSource,
+    clear_registered_workloads,
+    known_workload_names,
+    register_workload,
+    registered_workloads,
+    resolve_workload,
+    unregister_workload,
+)
 from repro.trace.workloads import (
     WorkloadSpec,
     default_workloads,
@@ -37,8 +53,16 @@ __all__ = [
     "run_oracle",
     "load_trace",
     "save_trace",
+    "TRACE_SLACK",
+    "WorkloadSource",
     "WorkloadSpec",
+    "clear_registered_workloads",
     "default_workloads",
+    "known_workload_names",
     "make_trace",
+    "register_workload",
+    "registered_workloads",
+    "resolve_workload",
+    "unregister_workload",
     "workload_by_name",
 ]

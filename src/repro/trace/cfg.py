@@ -229,6 +229,11 @@ class Program:
             if not instr.kind.is_conditional:
                 count += 1
                 continue
+            if not 0 <= instr.behaviour < len(self.behaviours):
+                # Trace-reconstructed images carry no behaviour table;
+                # every observed conditional counts as a taken candidate.
+                count += 1
+                continue
             beh = self.behaviours[instr.behaviour]
             if isinstance(beh, BiasedBehaviour) and beh.p_taken <= 0.05:
                 continue

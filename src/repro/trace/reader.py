@@ -77,6 +77,12 @@ def load_trace(path: str | Path) -> tuple[Program, OracleStream]:
     """Load a trace file, regenerating or decoding as appropriate."""
     doc = json.loads(Path(path).read_text())
     version = doc.get("format_version")
+    if isinstance(version, int) and version > FORMAT_VERSION:
+        raise ValueError(
+            f"trace file {path} uses format version {version}, but this "
+            f"build reads up to version {FORMAT_VERSION}; upgrade the "
+            f"package (or re-save the trace with this version)"
+        )
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version {version!r}")
     spec = _spec_from_dict(doc["program_spec"])

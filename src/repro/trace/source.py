@@ -1,0 +1,256 @@
+"""Pluggable workload sources.
+
+Historically every workload was a ``(ProgramSpec, seed)`` pair and all
+downstream layers assumed *regeneration from seed*.  This module breaks
+that assumption into an explicit :class:`WorkloadSource` protocol: any
+object that can materialise the structures the rest of the stack
+consumes --
+
+* an :class:`~repro.trace.oracle.OracleStream` (the committed stream the
+  backend replays, the :class:`~repro.trace.fbmeta.StreamMeta` arrays
+  are compiled from),
+* a :class:`~repro.trace.cfg.Program` static image (fetch-block
+  geometry for :class:`~repro.trace.fbmeta.FetchBlockMeta`, pre-decode,
+  PFC), and
+* a second, *independently derived* copy of the stream for the
+  differential oracle in :mod:`repro.check`
+
+-- is a workload.  The synthetic catalogue
+(:class:`~repro.trace.workloads.WorkloadSpec`) implements the protocol
+by regenerating from seed; :mod:`repro.trace.champsim` implements it by
+decoding an external ChampSim trace file.  Non-catalogue sources are
+held in a process-wide registry; ``REPRO_TRACES`` (``os.pathsep``-
+separated trace files) pre-populates it at first lookup.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.cfg import Program
+    from repro.trace.oracle import OracleStream
+
+#: Extra oracle instructions generated beyond the requested window so the
+#: run-ahead frontend never walks off the end of the committed stream.
+TRACE_SLACK = 4_000
+
+_ENV_TRACES = "REPRO_TRACES"
+
+#: File suffixes recognised as ChampSim trace files by the registry's
+#: path fallback and the ``REPRO_TRACES`` discovery scan.
+TRACE_SUFFIXES = (".champsim.xz", ".champsim.gz", ".champsim", ".trace.xz", ".trace.gz", ".trace")
+
+
+@runtime_checkable
+class WorkloadSource(Protocol):
+    """Anything that can supply a workload to the simulation stack.
+
+    Implementations must be deterministic: two calls to
+    :meth:`materialize` with the same ``n_instructions`` yield
+    bit-identical streams, and :meth:`expected_stream` must reproduce
+    the materialised stream through an *independent* derivation (fresh
+    regeneration for synthetic sources, a fresh cache-bypassing decode
+    for trace files) so in-place corruption of the cached copy cannot
+    hide a divergence.
+    """
+
+    @property
+    def name(self) -> str:
+        """Registry/catalogue name (also the run-result workload label)."""
+        ...
+
+    @property
+    def category(self) -> str:
+        """Workload family (``server``/``client``/``spec``/``trace``)."""
+        ...
+
+    @property
+    def source_kind(self) -> str:
+        """Provenance class: ``synthetic`` or ``champsim``."""
+        ...
+
+    def materialize(self, n_instructions: int) -> tuple[Program, OracleStream]:
+        """Produce the static image and committed stream for a window.
+
+        The stream must cover at least ``n_instructions`` committed
+        instructions (sources add :data:`TRACE_SLACK` of run-ahead
+        margin where they can).
+        """
+        ...
+
+    def expected_stream(self, n_instructions: int) -> OracleStream:
+        """An independently derived copy of :meth:`materialize`'s stream."""
+        ...
+
+    def fingerprint_data(self) -> dict:
+        """Canonical JSON-able identity for content-addressed run keys.
+
+        Must change iff the materialised trace can change: for trace
+        files this covers the file content digest and the decoder
+        version, never incidental details like the path spelling.
+        """
+        ...
+
+    def info(self) -> dict:
+        """Human-readable provenance (``repro workload info``)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, WorkloadSource] = {}
+_ENV_SCANNED = False
+
+
+def _invalidate_lookup_caches() -> None:
+    """Drop every cache keyed by workload *name* after a registry change.
+
+    ``workload_fingerprint``/``run_key`` and the trace memo all cache by
+    name string; rebinding a name to a different source would otherwise
+    serve stale entries.  Imports are deferred (and tolerant) because
+    the caches live in modules that import this one.
+    """
+    try:
+        from repro.experiments import cache as _cache
+
+        _cache.workload_fingerprint.cache_clear()
+        _cache.run_key.cache_clear()
+    except ImportError:  # pragma: no cover - cache layer always present
+        pass
+    try:
+        from repro.trace import workloads as _workloads
+
+        _workloads._cached_trace.cache_clear()
+    except ImportError:  # pragma: no cover - workloads always present
+        pass
+
+
+def register_workload(source: WorkloadSource, replace: bool = False) -> WorkloadSource:
+    """Add a source to the registry under ``source.name``.
+
+    Catalogue names are reserved.  Re-registering an identical source is
+    a no-op; rebinding a name to a different source requires
+    ``replace=True`` (and invalidates the name-keyed caches).
+    """
+    from repro.trace.workloads import default_workloads
+
+    name = source.name
+    if any(wl.name == name for wl in default_workloads()):
+        raise ValueError(f"workload name {name!r} is reserved by the synthetic catalogue")
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing.fingerprint_data() == source.fingerprint_data():
+            return existing
+        if not replace:
+            raise ValueError(
+                f"workload {name!r} is already registered with different content; "
+                f"pass replace=True to rebind it"
+            )
+    _REGISTRY[name] = source
+    _invalidate_lookup_caches()
+    return source
+
+
+def unregister_workload(name: str) -> bool:
+    """Remove one registered source; True when it existed."""
+    removed = _REGISTRY.pop(name, None) is not None
+    if removed:
+        _invalidate_lookup_caches()
+    return removed
+
+
+def clear_registered_workloads() -> None:
+    """Drop every registered (non-catalogue) source and allow a rescan
+    of ``REPRO_TRACES`` on the next lookup (test isolation hook)."""
+    global _ENV_SCANNED
+    _REGISTRY.clear()
+    _ENV_SCANNED = False
+    _invalidate_lookup_caches()
+
+
+def registered_workloads() -> list[WorkloadSource]:
+    """Registered sources (env-discovered ones included), name order."""
+    _scan_env_traces()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def trace_name_for_path(path: str | os.PathLike) -> str:
+    """Canonical registry name of a trace file: its stem minus the
+    recognised trace/compression suffixes (``foo.champsim.xz`` -> ``foo``)."""
+    base = os.path.basename(os.fspath(path))
+    for suffix in TRACE_SUFFIXES:
+        if base.endswith(suffix):
+            return base[: -len(suffix)]
+    return os.path.splitext(base)[0]
+
+
+def looks_like_trace_path(name: str) -> bool:
+    """Whether a workload argument denotes a trace file rather than a name."""
+    return (os.sep in name or name.endswith(TRACE_SUFFIXES)) and os.path.isfile(name)
+
+
+def _register_trace_path(path: str) -> WorkloadSource:
+    from repro.trace.champsim import ChampSimTrace
+
+    return register_workload(ChampSimTrace(path))
+
+
+def _scan_env_traces() -> None:
+    """One-shot discovery of ``REPRO_TRACES`` trace files/directories."""
+    global _ENV_SCANNED
+    if _ENV_SCANNED:
+        return
+    _ENV_SCANNED = True
+    raw = os.environ.get(_ENV_TRACES, "").strip()
+    if not raw:
+        return
+    for entry in raw.split(os.pathsep):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if os.path.isdir(entry):
+            for base in sorted(os.listdir(entry)):
+                if base.endswith(TRACE_SUFFIXES):
+                    _register_trace_path(os.path.join(entry, base))
+        elif os.path.isfile(entry):
+            _register_trace_path(entry)
+        else:
+            raise FileNotFoundError(f"REPRO_TRACES entry {entry!r} does not exist")
+
+
+def resolve_workload(workload) -> WorkloadSource:
+    """Resolve a workload argument to its source.
+
+    Accepts a :class:`WorkloadSource` (returned as-is), a catalogue or
+    registered name, or a path to a trace file (auto-registered under
+    its canonical name).  Raises ``KeyError`` for unknown names, with
+    the known names listed.
+    """
+    if not isinstance(workload, str):
+        return workload
+    from repro.trace.workloads import default_workloads
+
+    for wl in default_workloads():
+        if wl.name == workload:
+            return wl
+    _scan_env_traces()
+    source = _REGISTRY.get(workload)
+    if source is not None:
+        return source
+    if looks_like_trace_path(workload):
+        return _register_trace_path(workload)
+    known = [wl.name for wl in default_workloads()] + sorted(_REGISTRY)
+    raise KeyError(
+        f"no workload named {workload!r} (known: {', '.join(known)}; "
+        f"a trace file path must exist on disk)"
+    )
+
+
+def known_workload_names() -> list[str]:
+    """Catalogue names plus registered source names, in listing order."""
+    from repro.trace.workloads import default_workloads
+
+    return [wl.name for wl in default_workloads()] + [s.name for s in registered_workloads()]

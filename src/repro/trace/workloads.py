@@ -20,15 +20,21 @@ from functools import lru_cache
 
 from repro.trace.cfg import Program, ProgramSpec, generate_program
 from repro.trace.oracle import OracleStream, run_oracle
-
-#: Extra oracle instructions generated beyond the requested window so the
-#: run-ahead frontend never walks off the end of the committed stream.
-TRACE_SLACK = 4_000
+from repro.trace.source import (  # noqa: F401  (TRACE_SLACK re-exported)
+    TRACE_SLACK,
+    WorkloadSource,
+    resolve_workload,
+)
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One catalogue entry: a named, seeded program shape."""
+    """One catalogue entry: a named, seeded program shape.
+
+    Implements the :class:`~repro.trace.source.WorkloadSource` protocol
+    as the ``synthetic`` source: everything regenerates
+    deterministically from ``(program_spec, seeds)``.
+    """
 
     name: str
     category: str
@@ -39,6 +45,45 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.category not in ("server", "client", "spec"):
             raise ValueError(f"unknown category {self.category!r}")
+
+    @property
+    def source_kind(self) -> str:
+        return "synthetic"
+
+    def materialize(self, n_instructions: int) -> tuple[Program, OracleStream]:
+        """Regenerate the program and run the oracle over the window."""
+        program = generate_program(self.program_spec, self.program_seed)
+        stream = run_oracle(program, n_instructions + TRACE_SLACK, self.oracle_seed)
+        # Compile the fetch-block metadata eagerly so the sweep runner's
+        # pre-generation pass bakes it into the trace cache, and forked
+        # workers inherit it instead of recompiling per process.
+        program.fetch_meta()
+        return program, stream
+
+    def expected_stream(self, n_instructions: int) -> OracleStream:
+        """A fresh oracle run over a fresh program: the independent copy
+        the differential checker replays against the simulator."""
+        program = generate_program(self.program_spec, self.program_seed)
+        return run_oracle(program, n_instructions + TRACE_SLACK, self.oracle_seed)
+
+    def fingerprint_data(self) -> dict:
+        return {
+            "kind": "synthetic",
+            "name": self.name,
+            "category": self.category,
+            "program_spec": dataclasses.asdict(self.program_spec),
+            "program_seed": self.program_seed,
+            "oracle_seed": self.oracle_seed,
+        }
+
+    def info(self) -> dict:
+        return {
+            "source": self.source_kind,
+            "program_seed": self.program_seed,
+            "oracle_seed": self.oracle_seed,
+            "n_functions": self.program_spec.n_functions,
+            "n_phases": self.program_spec.n_phases,
+        }
 
 
 def _server_spec(**overrides) -> ProgramSpec:
@@ -131,33 +176,41 @@ def default_workloads() -> list[WorkloadSpec]:
     ]
 
 
-def workload_by_name(name: str) -> WorkloadSpec:
-    """Look a workload up by its catalogue name."""
-    for wl in default_workloads():
-        if wl.name == name:
-            return wl
-    raise KeyError(f"no workload named {name!r}")
+def workload_by_name(name: str) -> WorkloadSource:
+    """Look a workload up: catalogue, registry, or a trace file path.
+
+    Synthetic catalogue names resolve to their :class:`WorkloadSpec`;
+    registered external sources (and bare trace-file paths, which are
+    auto-registered) resolve through
+    :func:`repro.trace.source.resolve_workload`.
+    """
+    return resolve_workload(name)
 
 
 @lru_cache(maxsize=32)
 def _cached_trace(name: str, n_instructions: int) -> tuple[Program, OracleStream]:
-    wl = workload_by_name(name)
-    program = generate_program(wl.program_spec, wl.program_seed)
-    stream = run_oracle(program, n_instructions + TRACE_SLACK, wl.oracle_seed)
-    # Compile the fetch-block metadata eagerly so the sweep runner's
-    # pre-generation pass bakes it into the trace cache, and forked
-    # workers inherit it instead of recompiling per process.
-    program.fetch_meta()
-    return program, stream
+    return resolve_workload(name).materialize(n_instructions)
 
 
-def make_trace(workload: WorkloadSpec | str, n_instructions: int) -> tuple[Program, OracleStream]:
-    """Generate (program, oracle stream) for a workload.
+def make_trace(
+    workload: WorkloadSource | str, n_instructions: int
+) -> tuple[Program, OracleStream]:
+    """Materialise (program, oracle stream) for a workload.
 
     ``n_instructions`` is the window the simulator will commit; the
     stream carries :data:`TRACE_SLACK` extra instructions of run-ahead
     margin.  Results are cached per (workload, length) because every
-    experiment configuration reuses the same trace.
+    experiment configuration reuses the same trace.  The workload may
+    be a source object, a catalogue/registered name, or a trace file
+    path.
     """
-    name = workload if isinstance(workload, str) else workload.name
-    return _cached_trace(name, n_instructions)
+    if isinstance(workload, str):
+        return _cached_trace(workload, n_instructions)
+    try:
+        if resolve_workload(workload.name) == workload:
+            return _cached_trace(workload.name, n_instructions)
+    except KeyError:
+        pass
+    # An unregistered source object: materialise without the name memo
+    # (a name lookup could resolve to a different source).
+    return workload.materialize(n_instructions)

@@ -42,8 +42,26 @@ def _clean_repro_env(monkeypatch):
     for name in ("REPRO_WARMUP_MODE", "REPRO_JOBS", "REPRO_CHECK", "REPRO_CACHE",
                  "REPRO_LOG", "REPRO_WORKLOADS", "REPRO_WARMUP", "REPRO_SIM",
                  "REPRO_LEDGER", "REPRO_BATCH", "REPRO_BATCH_WIDTH",
-                 "REPRO_KERNEL"):
+                 "REPRO_KERNEL", "REPRO_TRACES"):
         monkeypatch.delenv(name, raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _clean_workload_registry():
+    """Drop trace sources a test registered so they cannot leak across
+    tests (also re-arms the ``REPRO_TRACES`` scan).
+
+    Clearing invalidates every name-keyed lookup cache, so it only runs
+    when a test actually touched the registry -- tests that stay on the
+    synthetic catalogue keep their warm trace memos.
+    """
+    from repro.trace import source
+
+    yield
+    if source._REGISTRY:
+        source.clear_registered_workloads()
+    else:
+        source._ENV_SCANNED = False
 
 
 def tiny_spec(**overrides) -> ProgramSpec:

@@ -33,9 +33,9 @@ class TestParser:
 class TestRunListFlags:
     def test_list_workloads(self, capsys):
         assert main(["run", "--list-workloads"]) == 0
-        lines = capsys.readouterr().out.strip().splitlines()
-        assert "srv_web" in lines
-        assert all(" " not in line for line in lines)
+        rows = [line.split() for line in capsys.readouterr().out.strip().splitlines()]
+        assert ["srv_web", "synthetic", "server"] in rows
+        assert all(len(row) == 3 for row in rows)
 
     def test_list_prefetchers(self, capsys):
         assert main(["run", "--list-prefetchers"]) == 0

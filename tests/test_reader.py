@@ -45,12 +45,49 @@ class TestSegmentDump:
         assert got == want
 
 
+class TestCatalogueSegmentDump:
+    def test_roundtrip_across_full_catalogue(self, tmp_path):
+        """Every catalogue workload's segment dump round-trips exactly."""
+        from repro.trace.workloads import default_workloads
+
+        for wl in default_workloads():
+            path = tmp_path / f"{wl.name}.json"
+            save_trace(
+                path,
+                wl.program_spec,
+                wl.program_seed,
+                wl.oracle_seed,
+                1_500,
+                include_segments=True,
+            )
+            _program, stream = load_trace(path)
+            expected = run_oracle(
+                generate_program(wl.program_spec, wl.program_seed), 1_500, wl.oracle_seed
+            )
+            got = [(s.start, s.n_instrs, s.next_start, s.branches) for s in stream.segments]
+            want = [(s.start, s.n_instrs, s.next_start, s.branches) for s in expected.segments]
+            assert got == want, wl.name
+            assert stream.total_instructions == expected.total_instructions, wl.name
+
+
 class TestValidation:
     def test_rejects_unknown_version(self, tmp_path):
         path = tmp_path / "bad.json"
-        path.write_text(json.dumps({"format_version": 99}))
+        path.write_text(json.dumps({"format_version": 0}))
         with pytest.raises(ValueError):
             load_trace(path)
+
+    def test_newer_version_names_both_versions(self, tmp_path):
+        from repro.trace.reader import FORMAT_VERSION
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": FORMAT_VERSION + 1}))
+        with pytest.raises(ValueError) as excinfo:
+            load_trace(path)
+        message = str(excinfo.value)
+        assert f"version {FORMAT_VERSION + 1}" in message
+        assert f"up to version {FORMAT_VERSION}" in message
+        assert "upgrade" in message
 
     def test_rejects_unknown_spec_field(self, tmp_path):
         path = tmp_path / "trace.json"
